@@ -1,0 +1,60 @@
+"""Figure 3: phase breakdown — ParHDE 28-core, ParHDE 1-core, prior.
+
+Checks the chart's reading: BFS and TripleProd dominate DOrtho
+everywhere, the eigensolve ("Other") is negligible, TripleProd scales
+better than BFS (its share shrinks less going 1 -> 28 cores), and the
+prior implementation is utterly BFS-dominated (sequential traversals).
+"""
+
+from repro import datasets, parhde
+from repro.baselines import prior_hde
+from repro.parallel import BRIDGES_ESM, BRIDGES_RSM
+from repro.parallel.report import Breakdown, format_breakdown_table
+
+from conftest import load_cached
+
+S = 10
+PHASES = ["BFS", "TripleProd", "DOrtho", "Other"]
+
+
+def _run():
+    out = {}
+    for key in datasets.LARGE_FIVE:
+        g = load_cached(key)
+        ours = parhde(g, S, seed=0)
+        prior = prior_hde(g, S, seed=0)
+        out[g.name] = (ours, prior)
+    return out
+
+
+def test_fig3_phase_breakdown(benchmark, report):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    par28 = {n: r.breakdown(BRIDGES_RSM, 28) for n, (r, _) in runs.items()}
+    par1 = {n: r.breakdown(BRIDGES_RSM, 1) for n, (r, _) in runs.items()}
+    prior80 = {n: p.breakdown(BRIDGES_ESM, 80) for n, (_, p) in runs.items()}
+
+    text = "\n\n".join(
+        f"--- {title} ---\n{format_breakdown_table(rows, PHASES)}"
+        for title, rows in [
+            ("ParHDE, 28 cores (Fig 3 left)", par28),
+            ("ParHDE, 1 core (Fig 3 middle)", par1),
+            ("Prior impl., 80-core node (Fig 3 right)", prior80),
+        ]
+    )
+    report("fig3_breakdown", text)
+
+    for name in par28:
+        p28, p1, pr = par28[name].percent, par1[name].percent, prior80[name].percent
+        # "BFS and the triple product dominate the D-orthogonalization."
+        assert p28["BFS"] + p28["TripleProd"] > p28["DOrtho"]
+        assert p1["BFS"] + p1["TripleProd"] > p1["DOrtho"]
+        # "the remainder (small eigensolve) is negligible."
+        assert p28["Other"] < 10 and p1["Other"] < 10
+        # "TripleProd scales better than BFS": its share shrinks more
+        # from 1 core to 28 cores (or equivalently BFS share grows).
+        tp_shrink = p1["TripleProd"] / max(p28["TripleProd"], 1e-9)
+        bfs_shrink = p1["BFS"] / max(p28["BFS"], 1e-9)
+        assert tp_shrink >= bfs_shrink * 0.9
+        # Prior implementation: sequential BFS overwhelms everything.
+        assert pr["BFS"] > 80

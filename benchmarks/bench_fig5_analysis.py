@@ -1,0 +1,68 @@
+"""Figure 5: additional ParHDE performance analysis.
+
+Left: with s = 50 sources, DOrtho's quadratic work makes it a much
+larger slice than with s = 10.  Middle: the BFS phase is dominated by
+actual traversal, not source-selection overhead.  Right: the TripleProd
+split — the LS SpMM dominates for shuffled-id graphs, while the dgemm
+share is visibly higher on sk-2005 and road_usa (equivalently: their LS
+is cheap thanks to vertex-ordering locality).
+"""
+
+from repro import datasets, parhde
+from repro.parallel import BRIDGES_RSM
+from repro.parallel.machine import subphase_times
+
+from conftest import load_cached
+
+
+def _run():
+    out = {}
+    for key in datasets.LARGE_FIVE:
+        g = load_cached(key)
+        out[g.name] = (parhde(g, 50, seed=0), parhde(g, 10, seed=0))
+    return out
+
+
+def test_fig5_analysis(benchmark, report):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = []
+    dortho_share = {}
+    for name, (r50, r10) in runs.items():
+        ph50 = r50.phase_seconds(BRIDGES_RSM, 28)
+        ph10 = r10.phase_seconds(BRIDGES_RSM, 28)
+        tot50, tot10 = sum(ph50.values()), sum(ph10.values())
+        dortho_share[name] = (
+            ph50["DOrtho"] / tot50,
+            ph10["DOrtho"] / tot10,
+        )
+        bfs = subphase_times(r50.ledger, BRIDGES_RSM, 28, "BFS")
+        tp = subphase_times(r50.ledger, BRIDGES_RSM, 28, "TripleProd")
+        ls_share = tp["LS"] / (tp["LS"] + tp["S'(LS)"])
+        trav_share = bfs["traversal"] / (bfs["traversal"] + bfs["overhead"])
+        lines.append(
+            f"{name:<18} DOrtho%: s=50 {100 * dortho_share[name][0]:5.1f}"
+            f" vs s=10 {100 * dortho_share[name][1]:5.1f} |"
+            f" BFS traversal share {100 * trav_share:5.1f}% |"
+            f" LS share of TripleProd {100 * ls_share:5.1f}%"
+        )
+    report("fig5_analysis", "\n".join(lines))
+
+    names = {n.split("[")[0]: n for n in runs}
+    for name, (r50, r10) in runs.items():
+        # Left chart: DOrtho slice grows considerably at s = 50.
+        assert dortho_share[name][0] > 1.5 * dortho_share[name][1]
+        # Middle chart: traversal dominates the BFS phase.
+        bfs = subphase_times(r50.ledger, BRIDGES_RSM, 28, "BFS")
+        assert bfs["traversal"] > bfs["overhead"]
+
+    def ls_share(paper_name):
+        r50 = runs[names[paper_name]][0]
+        tp = subphase_times(r50.ledger, BRIDGES_RSM, 28, "TripleProd")
+        return tp["LS"] / (tp["LS"] + tp["S'(LS)"])
+
+    # Right chart: urand/kron/twitter have near-negligible dgemm time,
+    # whereas sk-2005's and road's LS share is visibly lower.
+    for fast in ("urand27", "kron27", "twitter7"):
+        for local in ("sk-2005", "road_usa"):
+            assert ls_share(fast) > ls_share(local)

@@ -1,0 +1,57 @@
+"""Figure 6: PivotMDS and PHDE execution-time breakdowns.
+
+Left: PivotMDS on 28 cores; middle: PivotMDS on 1 core; right: PHDE on
+28 cores.  The chart's message: BFS dominates everywhere, and the
+centering + small-matmul phases are modest slices that grow slightly at
+28 cores (they are bandwidth-bound while BFS keeps scaling).
+"""
+
+from repro import datasets, phde, pivotmds
+from repro.parallel import BRIDGES_RSM
+from repro.parallel.report import format_breakdown_table
+
+from conftest import load_cached
+
+S = 10
+
+
+def _run():
+    out = {}
+    for key in datasets.LARGE_FIVE:
+        g = load_cached(key)
+        out[g.name] = (pivotmds(g, S, seed=0), phde(g, S, seed=0))
+    return out
+
+
+def test_fig6_breakdowns(benchmark, report):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    pm28 = {n: r.breakdown(BRIDGES_RSM, 28) for n, (r, _) in runs.items()}
+    pm1 = {n: r.breakdown(BRIDGES_RSM, 1) for n, (r, _) in runs.items()}
+    ph28 = {n: p.breakdown(BRIDGES_RSM, 28) for n, (_, p) in runs.items()}
+
+    text = "\n\n".join(
+        f"--- {title} ---\n{format_breakdown_table(rows)}"
+        for title, rows in [
+            ("PivotMDS, 28 cores (Fig 6 left)", pm28),
+            ("PivotMDS, 1 core (Fig 6 middle)", pm1),
+            ("PHDE, 28 cores (Fig 6 right)", ph28),
+        ]
+    )
+    report("fig6_phde_breakdown", text)
+
+    for name in runs:
+        # BFS is the dominant phase in every chart of Figure 6.
+        for bd in (pm28[name], pm1[name], ph28[name]):
+            pct = bd.percent
+            bfs = pct["BFS"]
+            assert bfs == max(pct.values())
+            assert bfs > 40
+        # Centering phases exist but stay small relative to BFS.
+        assert pm28[name].percent["DblCntr"] < pm28[name].percent["BFS"]
+        assert ph28[name].percent["ColCenter"] < ph28[name].percent["BFS"]
+        # Double centering costs at least as much as column centering
+        # (two reduction passes instead of one, section 3.2).
+        dbl = pm28[name].seconds["DblCntr"]
+        col = ph28[name].seconds["ColCenter"]
+        assert dbl >= col * 0.9

@@ -1,0 +1,87 @@
+"""Wall-clock microbenchmarks of the core kernels.
+
+Unlike the table/figure benchmarks (which report *simulated* times from
+the machine model), these time the actual NumPy kernels on this host
+with pytest-benchmark's statistics — the numbers to watch for
+performance regressions of the library itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bfs import bfs_distances, bfs_topdown_only
+from repro.core.pivots import select_and_traverse
+from repro.graph import adjacency_gaps, miss_rate
+from repro.linalg import d_orthogonalize, jacobi_eigh, laplacian_spmm
+from repro.sssp import delta_stepping
+
+from conftest import load_cached
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return load_cached("kron")
+
+
+@pytest.fixture(scope="module")
+def road():
+    return load_cached("road")
+
+
+def test_kernel_bfs_direction_optimizing(benchmark, kron):
+    dist, _ = benchmark(bfs_distances, kron, 0)
+    assert dist.min() >= 0
+
+
+def test_kernel_bfs_topdown(benchmark, kron):
+    dist, _ = benchmark(bfs_topdown_only, kron, 0)
+    assert dist.min() >= 0
+
+
+def test_kernel_bfs_high_diameter(benchmark, road):
+    dist, _ = benchmark(bfs_distances, road, 0)
+    assert dist.max() > 20
+
+
+def test_kernel_sssp_delta_stepping(benchmark, road):
+    from repro.graph import random_integer_weights
+
+    g = random_integer_weights(road, 1, 64, seed=0)
+    dist, _ = benchmark(delta_stepping, g, 0, 32.0)
+    assert np.isfinite(dist).all()
+
+
+def test_kernel_laplacian_spmm(benchmark, kron, rng=np.random.default_rng(0)):
+    X = rng.standard_normal((kron.n, 10))
+    out = benchmark(laplacian_spmm, kron, X)
+    assert out.shape == X.shape
+
+
+def test_kernel_dortho_mgs(benchmark, kron):
+    B = select_and_traverse(kron, 10, seed=0).distances
+    d = kron.weighted_degrees
+    res = benchmark(d_orthogonalize, B, d, method="mgs")
+    assert res.S.shape[1] >= 2
+
+
+def test_kernel_dortho_cgs(benchmark, kron):
+    B = select_and_traverse(kron, 10, seed=0).distances
+    d = kron.weighted_degrees
+    res = benchmark(d_orthogonalize, B, d, method="cgs")
+    assert res.S.shape[1] >= 2
+
+
+def test_kernel_jacobi_eigensolve(benchmark):
+    rng = np.random.default_rng(0)
+    M = rng.standard_normal((50, 50))
+    M = (M + M.T) / 2
+    evals, _ = benchmark(jacobi_eigh, M)
+    np.testing.assert_allclose(evals, np.linalg.eigvalsh(M), atol=1e-7)
+
+
+def test_kernel_gap_analysis(benchmark, kron):
+    def run():
+        return adjacency_gaps(kron), miss_rate(kron)
+
+    gaps, mr = benchmark(run)
+    assert 0 <= mr <= 1

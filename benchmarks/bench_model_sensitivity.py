@@ -1,0 +1,63 @@
+"""Robustness: how sensitive are the headline results to the calibration?
+
+A simulation-backed reproduction must show its conclusions are not
+artifacts of one lucky constant.  We sweep every machine-model parameter
+by 2x in both directions and check that the qualitative headlines
+survive at the extremes: urand still out-scales road, and the DOrtho
+phase still saturates early.
+"""
+
+from repro import datasets, parhde
+from repro.parallel import BRIDGES_RSM, format_sensitivity, sensitivity_report
+from repro.parallel.machine import phase_times
+from repro.parallel.sensitivity import TUNABLE, _perturb
+
+from conftest import load_cached
+
+
+def _run():
+    urand = parhde(load_cached("urand"), 10, seed=0)
+    road = parhde(load_cached("road"), 10, seed=0)
+    return urand, road
+
+
+def test_model_sensitivity(benchmark, report):
+    urand, road = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = sensitivity_report(urand.ledger, BRIDGES_RSM, p=28, metric="speedup")
+    text = "speedup of urand at 28 cores under parameter sweeps:\n"
+    text += format_sensitivity(rows)
+
+    # Headline 1: urand out-scales road under every 2x perturbation of
+    # every parameter.
+    robust = []
+    for name in TUNABLE:
+        for factor in (0.5, 2.0):
+            m = _perturb(BRIDGES_RSM, name, factor)
+            su = urand.simulated_seconds(m, 1) / urand.simulated_seconds(m, 28)
+            sr = road.simulated_seconds(m, 1) / road.simulated_seconds(m, 28)
+            robust.append((name, factor, su, sr))
+            assert su > sr, (name, factor)
+    text += "\n\nurand-vs-road speedup ordering: stable under all sweeps"
+
+    # Headline 2: DOrtho stays strongly sublinear (bandwidth-bound)
+    # under 2x bandwidth miscalibration either way.  (Halving the
+    # per-core bandwidth legitimately moves the knee from ~7 to ~14
+    # cores, so the robust claim is sublinearity, not the knee's exact
+    # position.)
+    for factor in (0.5, 2.0):
+        m = _perturb(BRIDGES_RSM, "stream_bw_core", factor)
+        d7 = phase_times(urand.ledger, m, 7)["DOrtho"]
+        d28 = phase_times(urand.ledger, m, 28)["DOrtho"]
+        assert d7 / d28 < 2.5, factor  # a linear phase would gain 4x
+    text += "\nDOrtho bandwidth-bound sublinearity: survives 2x sweeps"
+
+    # The most influential knobs should be the compute/latency rates —
+    # that is where the calibration effort went.
+    spreads = {k: v.spread for k, v in rows.items()}
+    text += "\n\nspread (max/min speedup) per parameter: " + ", ".join(
+        f"{k}={v:.2f}x" for k, v in sorted(
+            spreads.items(), key=lambda kv: -kv[1]
+        )
+    )
+    report("model_sensitivity", text)

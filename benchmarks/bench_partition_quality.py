@@ -1,0 +1,97 @@
+"""Section 4.5.4: ParHDE coordinates driving graph partitioning.
+
+Measures the full pipeline the paper sketches: geometric recursive
+bisection and spectral splits on ParHDE coordinates, followed by
+Fiduccia-Mattheyses refinement restricted to a coordinate band around
+the cut ("coordinates can be used to reduce the work performed in the
+Kernighan-Lin based refinement stages").  Also writes the colored
+partition visualization.
+"""
+
+import numpy as np
+
+from repro import parhde
+from repro.drawing import partition_edge_colors, render_layout, write_png
+from repro.partition import (
+    balance,
+    coordinate_band,
+    coordinate_bisection,
+    cut_fraction,
+    fm_refine,
+    median_split,
+)
+
+from conftest import load_cached
+
+GRAPHS = ("barth", "ecology", "road", "pa")
+
+
+def _run():
+    out = {}
+    for key in GRAPHS:
+        g = load_cached(key, scale="small")
+        layout = parhde(g, s=10, seed=0)
+        geo = coordinate_bisection(g, layout.coords, 2)
+        spec = median_split(layout.coords[:, 0])
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 2, size=g.n)
+        band = coordinate_band(layout.coords, geo, frac=0.25)
+        refined_full, full_stats = fm_refine(g, geo, max_passes=4)
+        refined_band, band_stats = fm_refine(
+            g, geo, candidates=band, max_passes=4
+        )
+        out[g.name] = dict(
+            g=g, layout=layout, geo=geo, spec=spec, rand=rand,
+            full=(refined_full, full_stats), band=(refined_band, band_stats),
+        )
+    return out
+
+
+def test_partition_quality(benchmark, report, results_dir):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Graph':<16} {'random':>8} {'geometric':>10} {'spectral':>9}"
+        f" {'geo+FM':>8} {'band-FM':>8} {'work save':>10}",
+        "-" * 70,
+    ]
+    for name, r in runs.items():
+        g = r["g"]
+        cf = {
+            "random": cut_fraction(g, r["rand"]),
+            "geo": cut_fraction(g, r["geo"]),
+            "spec": cut_fraction(g, r["spec"]),
+            "full": cut_fraction(g, r["full"][0]),
+            "band": cut_fraction(g, r["band"][0]),
+        }
+        work_save = r["full"][1].gain_updates / max(
+            r["band"][1].gain_updates, 1
+        )
+        lines.append(
+            f"{name:<16} {cf['random']:>8.3f} {cf['geo']:>10.3f}"
+            f" {cf['spec']:>9.3f} {cf['full']:>8.3f} {cf['band']:>8.3f}"
+            f" {work_save:>9.1f}x"
+        )
+        # Layout-driven cuts crush random assignment.
+        assert cf["geo"] < 0.35 * cf["random"]
+        assert cf["spec"] < 0.35 * cf["random"]
+        # FM refinement never hurts; band-restricted FM stays close
+        # while doing a fraction of the gain maintenance.
+        assert cf["full"] <= cf["geo"] + 1e-12
+        assert cf["band"] <= cf["geo"] + 1e-12
+        assert work_save > 1.5
+        # Balance maintained throughout.
+        for parts in (r["geo"], r["spec"], r["full"][0], r["band"][0]):
+            assert balance(parts, 2) < 1.1
+
+    # Visualization (the paper's partition-coloring figures).
+    r = runs[next(iter(runs))]
+    g, layout = r["g"], r["layout"]
+    u, v = g.edge_list()
+    colors = partition_edge_colors(u, v, r["full"][0])
+    canvas = render_layout(
+        g, layout.coords, width=500, height=500, edge_colors=colors
+    )
+    write_png(results_dir / "partition_visualization.png", canvas.pixels)
+    lines.append("\nvisualization -> partition_visualization.png")
+    report("partition_quality", "\n".join(lines))

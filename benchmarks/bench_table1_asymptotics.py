@@ -1,0 +1,63 @@
+"""Table 1: empirical verification of the asymptotic phase analysis.
+
+The paper's work bounds (and their echo in section 5's conclusions):
+BFS and TripleProd scale *linearly* with the subspace dimension ``s``,
+DOrtho *quadratically*, and the eigensolve is independent of ``n``.  We
+run ParHDE at doubling values of ``s`` and fit the growth of each
+phase's recorded work from the ledger itself.
+"""
+
+import numpy as np
+
+from repro import parhde
+from repro.parallel import Ledger
+
+from conftest import load_cached
+
+S_VALUES = (5, 10, 20, 40)
+
+
+def _phase_work(res):
+    out = {}
+    for phase, tot in res.ledger.phase_totals().items():
+        c = tot.combined
+        out[phase] = c.work + c.flops
+    return out
+
+
+def _run():
+    g = load_cached("kron")
+    return g, {s: _phase_work(parhde(g, s, seed=0)) for s in S_VALUES}
+
+
+def _fit_exponent(s_values, works):
+    """Least-squares slope of log(work) vs log(s)."""
+    x = np.log(np.array(s_values, dtype=float))
+    y = np.log(np.maximum(np.array(works, dtype=float), 1e-12))
+    return float(np.polyfit(x, y, 1)[0])
+
+
+def test_table1_asymptotics(benchmark, report):
+    g, runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    exps = {}
+    lines = [f"graph: {g.name}", f"{'phase':<12} " + "  ".join(
+        f"s={s:>3}" for s in S_VALUES
+    ) + "   fitted exponent (paper)"]
+    expectations = {"BFS": (1.0, "s"), "DOrtho": (2.0, "s^2"),
+                    "TripleProd": (1.0, "s")}
+    for phase, (expected, label) in expectations.items():
+        works = [runs[s][phase] for s in S_VALUES]
+        exps[phase] = _fit_exponent(S_VALUES, works)
+        cells = "  ".join(f"{w / 1e6:5.1f}M" for w in works)
+        lines.append(
+            f"{phase:<12} {cells}   {exps[phase]:.2f} ({label})"
+        )
+    report("table1_asymptotics", "\n".join(lines))
+
+    # BFS: linear in s (each pivot is one traversal).
+    assert 0.75 < exps["BFS"] < 1.3
+    # DOrtho: quadratic in s (loop-carried Gram-Schmidt projections).
+    assert 1.6 < exps["DOrtho"] < 2.3
+    # TripleProd: linear in s (s SpMVs + the rank-s gemm, m/n >> s).
+    assert 0.75 < exps["TripleProd"] < 1.5

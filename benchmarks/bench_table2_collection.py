@@ -1,0 +1,48 @@
+"""Table 2: the evaluation graph collection after preprocessing.
+
+Regenerates the (graph, m, n) rows for the scaled collection, timing the
+full generate-and-preprocess pipeline.  The qualitative checks assert
+the structural invariants the rest of the evaluation relies on.
+"""
+
+from repro import datasets
+from repro.graph import format_stats_table, graph_stats, is_connected
+
+from conftest import BENCH_SCALE, load_cached
+
+
+def test_table2_collection(benchmark, report):
+    def build():
+        return datasets.collection_table(BENCH_SCALE)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = datasets.format_table2(rows)
+    # Extended characterization (degree skew, diameter bound, locality,
+    # clustering) — the structural properties sections 4.1-4.4 reason
+    # about when explaining each graph's behaviour.
+    stats = [graph_stats(load_cached(k)) for k in datasets.available()]
+    text += "\n\nextended characterization:\n" + format_stats_table(stats)
+    report("table2_collection", text)
+
+    by_key = {s.name.split("[")[0]: s for s in stats}
+    # road: the high-diameter low-degree outlier.
+    assert by_key["road_usa"].diameter_lb > 4 * by_key["kron27"].diameter_lb
+    # kron/twitter: the degree-skew outliers.
+    assert by_key["kron27"].degree_skew > 5
+    # web/road locality-friendly vs shuffled urand/kron.
+    assert by_key["sk-2005"].miss_rate < 0.5 * by_key["urand27"].miss_rate
+    # barth: the triangulated mesh (clustering) used for the drawings.
+    assert by_key["barth5"].clustering > 0.3
+
+    by_name = {name: (m, n) for name, m, n in rows}
+    # Connected simple graphs (the paper's preprocessing contract).
+    for key in datasets.available():
+        g = load_cached(key)
+        assert is_connected(g)
+    # Edge-count ordering mirrors the paper's Table 2.
+    assert by_name["urand27"][0] > by_name["kron27"][0]
+    assert by_name["kron27"][0] > by_name["road_usa"][0]
+    assert by_name["sk-2005"][0] > by_name["road_usa"][0]
+    # road is the sparse outlier.
+    m_road, n_road = by_name["road_usa"]
+    assert 2 * m_road / n_road < 3.5

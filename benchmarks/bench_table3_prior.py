@@ -1,0 +1,72 @@
+"""Table 3: ParHDE vs the prior parallel HDE implementation, s = 10.
+
+The paper measures 2.9x-18x on 80 cores of the large-memory node, with
+speedup correlated to graph size and road_usa the weakest case (its
+high diameter defeats the direction-optimizing parallel BFS, so the
+prior sequential BFS is not much worse).  We reproduce winners and
+ordering; magnitudes are larger because the model's ESM node scales more
+cleanly than the paper's shared, non-dedicated allocation (see
+EXPERIMENTS.md).
+"""
+
+from repro import datasets, parhde
+from repro.baselines import parhde_peak_bytes, prior_hde, prior_peak_bytes
+from repro.parallel import BRIDGES_ESM
+
+from conftest import BENCH_SCALE, load_cached
+
+S = 10
+CORES = 80
+PAPER = {  # graph -> (ParHDE s, prior s, speedup)
+    "urand27": (72, 1301, 18.0),
+    "kron27": (47, 688, 14.7),
+    "sk-2005": (18, 131, 7.3),
+    "twitter7": (34, 372, 10.9),
+    "road_usa": (13, 36, 2.9),
+}
+
+
+def _run_all():
+    rows = {}
+    for key in datasets.LARGE_FIVE:
+        g = load_cached(key)
+        ours = parhde(g, S, seed=0)
+        prior = prior_hde(g, S, seed=0)
+        rows[g.name] = (g, ours, prior)
+    return rows
+
+
+def test_table3_speedup_over_prior(benchmark, report):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Graph':<18} {'ParHDE(s)':>12} {'Prior(s)':>12} {'Speedup':>9}"
+        f" {'paper':>7} {'mem x':>6}",
+        "-" * 70,
+    ]
+    ratios = {}
+    for name, (g, ours, prior) in rows.items():
+        t_ours = ours.simulated_seconds(BRIDGES_ESM, CORES)
+        t_prior = prior.simulated_seconds(BRIDGES_ESM, CORES)
+        ratio = t_prior / t_ours
+        paper_name = name.split("[")[0]
+        ratios[paper_name] = ratio
+        mem = prior_peak_bytes(g, S) / parhde_peak_bytes(g, S)
+        lines.append(
+            f"{name:<18} {t_ours:>12.4f} {t_prior:>12.4f} {ratio:>8.1f}x"
+            f" {PAPER[paper_name][2]:>6.1f}x {mem:>5.2f}x"
+        )
+    report("table3_prior", "\n".join(lines))
+
+    # road_usa shows by far the smallest gain (paper: 2.9x vs 7.3-18x).
+    others = [v for k, v in ratios.items() if k != "road_usa"]
+    assert ratios["road_usa"] < min(others) / 3
+    if BENCH_SCALE == "medium":
+        # Calibration-scale claims: ParHDE wins everywhere, and the
+        # low-diameter graphs gain an order of magnitude.  (At smaller
+        # scales road's per-level barriers can dominate its tiny
+        # traversals, flipping its ratio below 1 — a scale artifact.)
+        assert all(r > 1.0 for r in ratios.values())
+        assert min(others) > 10
+    else:
+        assert min(others) > 3

@@ -1,0 +1,70 @@
+"""Table 5: PHDE and PivotMDS times and relative speedups, 28 cores.
+
+The paper's reading (with Figure 6): both algorithms are dominated by
+the parallel BFS phase, run faster than full ParHDE (no LS product),
+and scale comparably to it.
+"""
+
+from repro import datasets, parhde, phde, pivotmds
+from repro.parallel import BRIDGES_RSM
+
+from conftest import load_cached
+
+S = 10
+PAPER = {  # graph -> (phde_s, phde_spd, pivotmds_s, pivotmds_spd)
+    "urand27": (12.5, 23.7, 13.9, 23.4),
+    "kron27": (4.8, 12.4, 4.6, 20.1),
+    "sk-2005": (4.6, 9.2, 4.9, 11.6),
+    "twitter7": (5.7, 6.5, 5.8, 9.1),
+    "road_usa": (3.1, 6.1, 3.1, 7.9),
+}
+
+
+def _run():
+    out = {}
+    for key in datasets.LARGE_FIVE:
+        g = load_cached(key)
+        out[g.name] = (
+            phde(g, S, seed=0),
+            pivotmds(g, S, seed=0),
+            parhde(g, S, seed=0),
+        )
+    return out
+
+
+def test_table5_phde_pivotmds(benchmark, report):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Graph':<18} {'PHDE(s)':>10} {'spd':>6} {'PivotMDS(s)':>12} {'spd':>6}"
+        f" {'paper spd':>16}",
+        "-" * 76,
+    ]
+    for name, (rp, rm, rh) in runs.items():
+        paper_name = name.split("[")[0]
+        tp = rp.simulated_seconds(BRIDGES_RSM, 28)
+        tm = rm.simulated_seconds(BRIDGES_RSM, 28)
+        sp = rp.speedup(BRIDGES_RSM, 28)
+        sm = rm.speedup(BRIDGES_RSM, 28)
+        pp = PAPER[paper_name]
+        lines.append(
+            f"{name:<18} {tp:>10.5f} {sp:>5.1f}x {tm:>12.5f} {sm:>5.1f}x"
+            f" {pp[1]:>6.1f}x/{pp[3]:>5.1f}x"
+        )
+    report("table5_phde_pivotmds", "\n".join(lines))
+
+    for name, (rp, rm, rh) in runs.items():
+        # Both are cheaper than full ParHDE (no Laplacian product).
+        assert rp.simulated_seconds(BRIDGES_RSM, 28) <= rh.simulated_seconds(
+            BRIDGES_RSM, 28
+        ) * 1.05
+        assert rm.simulated_seconds(BRIDGES_RSM, 28) <= rh.simulated_seconds(
+            BRIDGES_RSM, 28
+        ) * 1.1
+        # "overall performance is dominated by the time taken for BFS".
+        for res in (rp, rm):
+            ph = res.phase_seconds(BRIDGES_RSM, 28)
+            assert ph["BFS"] == max(ph.values())
+        # Real speedups.
+        assert rp.speedup(BRIDGES_RSM, 28) > 3
+        assert rm.speedup(BRIDGES_RSM, 28) > 3

@@ -1,0 +1,77 @@
+"""Weighted-graph layout evaluation (section 3.3 end to end).
+
+The paper's weighted experiments stop at SSSP timing; this bench closes
+the loop on the *layout*: ParHDE on unit, random-integer and real
+weights, under both weight interpretations, checked for quality (finite,
+2D, better than random placement) and for the expected traversal-cost
+ordering (weighted Delta-stepping costs more than unweighted BFS).
+"""
+
+import numpy as np
+
+from repro import parhde
+from repro.graph import (
+    random_integer_weights,
+    random_real_weights,
+    unit_weights,
+)
+from repro.metrics import sampled_stress
+from repro.parallel import BRIDGES_RSM
+
+from conftest import load_cached
+
+
+def _run():
+    g = load_cached("barth", scale="small")
+    variants = {
+        "unweighted-bfs": parhde(g, s=10, seed=0),
+        "unit-sssp": parhde(
+            unit_weights(g), s=10, seed=0, weighted=True, delta=1.0
+        ),
+        "int-distance": parhde(
+            random_integer_weights(g, 1, 64, seed=1), s=10, seed=0,
+            weighted=True,
+        ),
+        "int-similarity": parhde(
+            random_integer_weights(g, 1, 64, seed=1), s=10, seed=0,
+            weighted=True, weight_interpretation="similarity",
+        ),
+        "real-distance": parhde(
+            random_real_weights(g, seed=2), s=10, seed=0, weighted=True
+        ),
+    }
+    return g, variants
+
+
+def test_weighted_layouts(benchmark, report):
+    g, variants = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rng = np.random.default_rng(0)
+    random_stress = sampled_stress(
+        g, rng.standard_normal((g.n, 2)), seed=3
+    )
+    lines = [
+        f"graph: {g.name} (n={g.n}, m={g.m}); random-layout stress"
+        f" {random_stress:.3f}",
+        f"{'variant':<16} {'stress':>8} {'BFS/SSSP (s, 28c)':>18}",
+        "-" * 48,
+    ]
+    times = {}
+    for name, res in variants.items():
+        stress = sampled_stress(g, res.coords, seed=3)
+        t = res.phase_seconds(BRIDGES_RSM, 28)["BFS"]
+        times[name] = t
+        lines.append(f"{name:<16} {stress:>8.4f} {t:>18.6f}")
+        assert np.all(np.isfinite(res.coords))
+        var = res.coords.var(axis=0)
+        assert var.min() > 1e-6 * var.max()
+        # Hop-count stress is only meaningful against the unweighted
+        # metric, but every variant must still beat random placement.
+        assert stress < 0.6 * random_stress, name
+    report("weighted_layout", "\n".join(lines))
+
+    # Unit-weight SSSP costs more than BFS but stays the same order;
+    # real/integer weights cost more still (the section 4.4 ordering).
+    assert times["unweighted-bfs"] < times["unit-sssp"]
+    assert times["unit-sssp"] < 12 * times["unweighted-bfs"]
+    assert times["int-distance"] > times["unweighted-bfs"]

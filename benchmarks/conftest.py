@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures: cached graphs and a results writer.
+
+Every benchmark regenerates one table or figure of the paper.  Each one
+both *times* the real computation (pytest-benchmark) and prints the
+paper-style table built from the machine model, writing a copy under
+``benchmarks/results/`` so EXPERIMENTS.md can reference the output.
+
+Graphs default to the ``medium`` scale preset (the calibration scale of
+the machine model); set ``REPRO_BENCH_SCALE=small`` for a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import datasets
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "medium")
+
+_cache: dict[str, object] = {}
+
+
+def load_cached(name: str, scale: str | None = None):
+    """Session-cached dataset load (graph construction is not timed)."""
+    scale = scale or BENCH_SCALE
+    key = f"{name}@{scale}"
+    if key not in _cache:
+        _cache[key] = datasets.load(name, scale=scale)
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Writer: ``report(experiment_id, text)`` prints and persists."""
+
+    def _write(experiment: str, text: str) -> None:
+        print(f"\n===== {experiment} =====\n{text}\n")
+        (results_dir / f"{experiment}.txt").write_text(text + "\n")
+
+    return _write

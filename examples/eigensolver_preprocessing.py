@@ -1,0 +1,47 @@
+"""Section 4.5.3: ParHDE as a preprocessing step for eigensolvers.
+
+Runs the weighted-centroid refinement from an HDE warm start and from a
+random start, and reports the sweep counts — the mechanism behind the
+22x-131x advantage reported by Kirmani et al. and cited by the paper.
+
+Run:  python examples/eigensolver_preprocessing.py [graph]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import datasets, parhde
+from repro.core.refine import refine, residual
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "ecology"
+    g = datasets.load(name, scale="small")
+    print(f"graph: {g!r}")
+
+    hde = parhde(g, s=10, seed=0)
+    print(f"raw HDE eigen-residual:      {residual(g, hde.coords):.2e}")
+
+    warm = refine(g, hde.coords, tol=1e-5, max_sweeps=50_000)
+    print(
+        f"HDE + centroid refinement:   {warm.residual:.2e}"
+        f" after {warm.sweeps} sweeps"
+    )
+
+    rng = np.random.default_rng(1)
+    cold = refine(
+        g, rng.standard_normal((g.n, 2)), tol=1e-5, max_sweeps=50_000
+    )
+    print(
+        f"random start refinement:     {cold.residual:.2e}"
+        f" after {cold.sweeps} sweeps"
+    )
+    print(
+        f"\nwarm-start advantage: {cold.sweeps / max(warm.sweeps, 1):.1f}x"
+        " fewer sweeps (paper band: 22x-131x across graphs)"
+    )
+
+
+if __name__ == "__main__":
+    main()

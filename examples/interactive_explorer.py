@@ -1,0 +1,59 @@
+"""Interactive and 3D exploration of a layout.
+
+Produces the section 4.5.2 "browser-based interactive graph
+visualization": a self-contained pan/zoom HTML page for the global
+layout and for a 10-hop zoom, plus a 3D ParHDE layout rendered as a
+turntable sequence of PNG views.
+
+Run:  python examples/interactive_explorer.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import datasets, parhde, zoom_layout
+from repro.drawing import (
+    save_drawing,
+    turntable_views,
+    write_interactive_html,
+)
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "explorer")
+    outdir.mkdir(exist_ok=True)
+
+    g = datasets.load("barth", scale="small")
+    print(f"graph: {g!r}")
+
+    # Global interactive view.
+    layout = parhde(g, s=20, seed=0)
+    global_html = outdir / "global.html"
+    write_interactive_html(
+        g, layout.coords, global_html, title=f"ParHDE: {g.name}"
+    )
+    print(f"interactive global view -> {global_html}")
+
+    # Zoomed interactive view (Figure 8's use case).
+    z = zoom_layout(g, center=g.n // 2, hops=10, s=10, seed=0)
+    zoom_html = outdir / "zoom.html"
+    write_interactive_html(
+        z.subgraph,
+        z.layout.coords,
+        zoom_html,
+        title=f"10-hop zoom around vertex {z.center}",
+    )
+    print(
+        f"interactive zoom ({z.subgraph.n} vertices) -> {zoom_html}"
+    )
+
+    # 3D layout, rendered as a turntable.
+    res3d = parhde(g, s=20, dims=3, seed=0)
+    for k, view in enumerate(turntable_views(res3d.coords, frames=6)):
+        path = outdir / f"turntable_{k}.png"
+        save_drawing(g, view, path, width=400, height=400)
+    print(f"6 turntable views of the 3D layout -> {outdir}/turntable_*.png")
+
+
+if __name__ == "__main__":
+    main()

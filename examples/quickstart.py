@@ -1,0 +1,44 @@
+"""Quickstart: lay out a graph with ParHDE and render it.
+
+Run:  python examples/quickstart.py [output.png]
+"""
+
+import sys
+
+from repro import datasets, parhde, save_drawing
+from repro.metrics import sampled_stress
+from repro.parallel import BRIDGES_RSM
+
+
+def main() -> None:
+    out = sys.argv[1] if len(sys.argv) > 1 else "quickstart.png"
+
+    # 1. Get a connected graph.  Collection graphs are preprocessed the
+    #    way the paper prescribes (simple, largest component); for your
+    #    own data use repro.graph.read_edge_list + repro.graph.preprocess.
+    g = datasets.load("barth", scale="small")
+    print(f"graph: {g!r}")
+
+    # 2. Compute the layout.  s is the subspace dimension (pivot count);
+    #    the paper uses 10 for timing and notes 50 as a quality choice.
+    layout = parhde(g, s=20, seed=0)
+    print(f"layout: {layout.coords.shape}, pivots={layout.pivots.tolist()}")
+    print(f"stress (lower is better): {sampled_stress(g, layout.coords):.4f}")
+
+    # 3. Ask the machine model what this run would cost on the paper's
+    #    28-core node.
+    print("\nsimulated phase times on", BRIDGES_RSM.name)
+    for p in (1, 7, 28):
+        phases = layout.phase_seconds(BRIDGES_RSM, p)
+        total = sum(phases.values())
+        detail = ", ".join(f"{k} {v * 1e3:.2f}ms" for k, v in phases.items())
+        print(f"  p={p:>2}: total {total * 1e3:8.2f}ms  ({detail})")
+    print(f"  relative speedup at 28 cores: {layout.speedup(BRIDGES_RSM, 28):.1f}x")
+
+    # 4. Draw it.
+    save_drawing(g, layout.coords, out, width=700, height=700)
+    print(f"\ndrawing written to {out}")
+
+
+if __name__ == "__main__":
+    main()

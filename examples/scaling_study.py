@@ -1,0 +1,68 @@
+"""A Figure 3/4-style performance study on any collection graph.
+
+Runs ParHDE, records the cost ledger, and interrogates the machine model
+for the phase breakdown and scaling curve the paper plots — plus the
+prior-implementation comparison of Table 3.
+
+Run:  python examples/scaling_study.py [graph] [scale]
+      e.g.  python examples/scaling_study.py kron medium
+"""
+
+import sys
+
+from repro import datasets, parhde
+from repro.baselines import prior_hde
+from repro.parallel import BRIDGES_ESM, BRIDGES_RSM
+from repro.parallel.report import (
+    breakdown,
+    format_breakdown_table,
+    format_scaling_table,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "kron"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "medium"
+    g = datasets.load(name, scale=scale)
+    print(f"graph: {g!r}\n")
+
+    res = parhde(g, s=10, seed=0)
+
+    print("=== Phase breakdown (Figure 3 style) ===")
+    rows = {
+        f"{g.name} @ 1 core": breakdown(res.ledger, BRIDGES_RSM, 1),
+        f"{g.name} @ 28 cores": breakdown(res.ledger, BRIDGES_RSM, 28),
+    }
+    print(format_breakdown_table(rows))
+
+    print("\n=== Scaling (Figure 4 style) ===")
+    threads = [1, 4, 7, 14, 28]
+    series = {
+        g.name: {p: res.simulated_seconds(BRIDGES_RSM, p) for p in threads}
+    }
+    from repro.parallel.machine import phase_times
+
+    for phase in ("BFS", "TripleProd", "DOrtho"):
+        series[f"  {phase}"] = {
+            p: phase_times(res.ledger, BRIDGES_RSM, p)[phase] for p in threads
+        }
+    print(format_scaling_table(series))
+
+    print("\n=== vs prior implementation (Table 3 style, 80-core node) ===")
+    prior = prior_hde(g, s=10, seed=0)
+    t_ours = res.simulated_seconds(BRIDGES_ESM, 80)
+    t_prior = prior.simulated_seconds(BRIDGES_ESM, 80)
+    print(f"ParHDE: {t_ours:.5f}s   prior: {t_prior:.5f}s"
+          f"   speedup {t_prior / t_ours:.1f}x")
+
+    print("\n=== BFS statistics ===")
+    for st in res.bfs_stats[:3]:
+        print(
+            f"  source {st.source:>7}: {st.levels} levels,"
+            f" {st.edges_examined} edges examined"
+            f" (gamma = {st.gamma(g.m):.3f}), directions {st.directions}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network, so PEP 660 editable installs (which build a wheel) fail.  With
+this shim and no ``[build-system]`` table in pyproject.toml, pip falls
+back to the legacy ``setup.py develop`` path, which works offline.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

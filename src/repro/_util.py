@@ -1,0 +1,24 @@
+"""Small internal helpers shared across subpackages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["require_connected_distances"]
+
+
+def require_connected_distances(dist: np.ndarray) -> None:
+    """Raise if a traversal left vertices unreached.
+
+    ParHDE expects a connected input graph (section 2.1); callers should
+    run :func:`repro.graph.preprocess` first.
+    """
+    if np.issubdtype(dist.dtype, np.floating):
+        ok = bool(np.all(np.isfinite(dist)))
+    else:
+        ok = bool(dist.min() >= 0)
+    if not ok:
+        raise ValueError(
+            "graph must be connected: a traversal left vertices unreached "
+            "(preprocess with repro.graph.preprocess to extract the LCC)"
+        )

@@ -1,0 +1,14 @@
+"""Comparison baselines: the prior parallel HDE and exact spectral layout."""
+
+from .force_directed import FRResult, fruchterman_reingold
+from .prior_hde import parhde_peak_bytes, prior_hde, prior_peak_bytes
+from .spectral import spectral_layout
+
+__all__ = [
+    "prior_hde",
+    "prior_peak_bytes",
+    "parhde_peak_bytes",
+    "spectral_layout",
+    "FRResult",
+    "fruchterman_reingold",
+]

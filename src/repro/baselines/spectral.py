@@ -1,0 +1,57 @@
+"""Exact spectral layout: the Figure 1 (bottom) reference drawing.
+
+Lays the graph out on the true dominant non-trivial eigenvectors of the
+normalized adjacency (walk) matrix — i.e. the degree-normalized
+eigenvectors HDE approximates.  Orders of magnitude slower than ParHDE
+on large graphs (that gap is HDE's whole reason to exist), so use it on
+small and medium graphs as a quality oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..linalg.power_iteration import power_iteration
+from ..parallel.costs import Ledger
+from ..core.result import LayoutResult
+
+__all__ = ["spectral_layout"]
+
+
+def spectral_layout(
+    g: CSRGraph,
+    dims: int = 2,
+    *,
+    tol: float = 1e-9,
+    max_iter: int = 50_000,
+    seed: int = 0,
+    x0: np.ndarray | None = None,
+    ledger: Ledger | None = None,
+) -> LayoutResult:
+    """Layout on the exact degree-normalized eigenvectors.
+
+    ``x0`` may warm-start the iteration (pass an HDE layout to reproduce
+    the §4.5.3 preprocessing experiment).  The iteration counts are in
+    ``result.params["iterations"]``.
+    """
+    led = ledger if ledger is not None else Ledger()
+    with led.phase("PowerIteration"):
+        res = power_iteration(
+            g, dims, tol=tol, max_iter=max_iter, seed=seed, x0=x0, ledger=led
+        )
+    return LayoutResult(
+        coords=res.vectors,
+        algorithm="spectral-exact",
+        B=np.zeros((g.n, 0)),
+        S=res.vectors,
+        eigenvalues=res.eigenvalues,
+        pivots=np.zeros(0, dtype=np.int64),
+        ledger=led,
+        params=dict(
+            dims=dims,
+            tol=tol,
+            iterations=res.iterations,
+            residuals=res.residuals,
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Level-synchronous parallel BFS with direction optimization (GAP-style)."""
+
+from .bottomup import bottomup_step
+from .direction_optimizing import (
+    ALPHA,
+    BETA,
+    BFSStats,
+    bfs_distances,
+    bfs_topdown_only,
+)
+from .frontier import UNVISITED, bitmap_to_queue, gather_neighbors, queue_to_bitmap
+from .parents import bfs_parents, validate_bfs_tree
+from .trace import LevelTrace, format_trace, trace_bfs
+from .sequential import bfs_sequential
+from .runner import (
+    MultiSourceResult,
+    farthest_update_cost,
+    run_sources,
+    run_sources_concurrent,
+)
+from .topdown import topdown_step
+
+__all__ = [
+    "ALPHA",
+    "BETA",
+    "BFSStats",
+    "bfs_distances",
+    "bfs_topdown_only",
+    "bfs_parents",
+    "validate_bfs_tree",
+    "LevelTrace",
+    "trace_bfs",
+    "format_trace",
+    "bfs_sequential",
+    "topdown_step",
+    "bottomup_step",
+    "gather_neighbors",
+    "queue_to_bitmap",
+    "bitmap_to_queue",
+    "UNVISITED",
+    "MultiSourceResult",
+    "run_sources",
+    "run_sources_concurrent",
+    "farthest_update_cost",
+]

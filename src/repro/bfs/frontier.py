@@ -1,0 +1,51 @@
+"""Frontier utilities shared by the BFS kernels.
+
+A frontier is held in two interchangeable representations, as in the GAP
+direction-optimizing BFS: a *sparse queue* (sorted vertex id array) used
+by top-down steps, and a *dense bitmap* used by bottom-up steps.  The
+conversion costs are charged to the machine model by the callers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["gather_neighbors", "queue_to_bitmap", "bitmap_to_queue", "UNVISITED"]
+
+UNVISITED = np.int32(-1)
+
+
+def gather_neighbors(
+    g: CSRGraph, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenated adjacency of ``vertices``.
+
+    Returns ``(neighbors, counts, seg_starts)`` where ``neighbors`` is the
+    concatenation of every adjacency list, ``counts[i]`` is the degree of
+    ``vertices[i]`` and ``seg_starts[i]`` is the offset of its segment in
+    ``neighbors``.  Fully vectorized; this is the core gather primitive
+    of every level-synchronous step.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    counts = (g.indptr[vertices + 1] - g.indptr[vertices]).astype(np.int64)
+    seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1])) if len(counts) else np.zeros(0, np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=g.indices.dtype), counts, seg_starts
+    starts = np.repeat(g.indptr[vertices], counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts)
+    return g.indices[starts + offsets], counts, seg_starts
+
+
+def queue_to_bitmap(queue: np.ndarray, n: int) -> np.ndarray:
+    """Dense boolean membership array for a sparse vertex queue."""
+    bitmap = np.zeros(n, dtype=bool)
+    bitmap[queue] = True
+    return bitmap
+
+
+def bitmap_to_queue(bitmap: np.ndarray) -> np.ndarray:
+    """Sorted vertex ids set in a dense boolean frontier."""
+    return np.flatnonzero(bitmap).astype(np.int64)

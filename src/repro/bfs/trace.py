@@ -1,0 +1,108 @@
+"""Per-level BFS tracing — the GAP verbose mode, structured.
+
+The direction-optimizing heuristic's behaviour (when it flips to
+bottom-up, how big the frontiers get, how much work each level does) is
+what Figures 4 and 5's BFS analysis hinges on.  This tracer re-runs a
+traversal while recording one :class:`LevelTrace` per level, giving the
+benchmarks and any curious user the same per-level view GAP prints with
+``-v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .bottomup import bottomup_step
+from .direction_optimizing import ALPHA, BETA
+from .frontier import queue_to_bitmap
+from .topdown import topdown_step
+
+__all__ = ["LevelTrace", "trace_bfs", "format_trace"]
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """One level of a traced traversal."""
+
+    level: int
+    direction: str  # "td" | "bu"
+    frontier_size: int
+    frontier_edges: int
+    edges_examined: int
+    discovered: int
+
+
+def trace_bfs(
+    g: CSRGraph,
+    source: int,
+    *,
+    alpha: float = ALPHA,
+    beta: float = BETA,
+) -> tuple[np.ndarray, list[LevelTrace]]:
+    """Run a direction-optimizing BFS and record one trace per level.
+
+    Returns ``(dist, traces)``; the distances are identical to
+    :func:`repro.bfs.bfs_distances` with the same parameters.
+    """
+    if not 0 <= source < g.n:
+        raise ValueError("source out of range")
+    from ..graph.gaps import miss_rate
+
+    miss = g._cache.setdefault("miss_rate", miss_rate(g))
+    dist = np.full(g.n, -1, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    direction = "td"
+    edges_unexplored = g.nnz - g.degree(source)
+    traces: list[LevelTrace] = []
+    level = 0
+    while len(frontier):
+        level += 1
+        frontier_edges = int((g.indptr[frontier + 1] - g.indptr[frontier]).sum())
+        if (
+            direction == "td"
+            and np.isfinite(alpha)
+            and frontier_edges > edges_unexplored / alpha
+        ):
+            direction = "bu"
+        elif direction == "bu" and len(frontier) < g.n / beta:
+            direction = "td"
+        size = len(frontier)
+        if direction == "td":
+            nxt, edges, _ = topdown_step(g, frontier, dist, level, miss)
+        else:
+            bitmap = queue_to_bitmap(frontier, g.n)
+            nxt, edges, _ = bottomup_step(g, bitmap, dist, level, miss)
+        traces.append(
+            LevelTrace(
+                level=level,
+                direction=direction,
+                frontier_size=size,
+                frontier_edges=frontier_edges,
+                edges_examined=edges,
+                discovered=len(nxt),
+            )
+        )
+        edges_unexplored -= frontier_edges
+        frontier = nxt
+    return dist, traces
+
+
+def format_trace(traces: list[LevelTrace]) -> str:
+    """Render a trace as the familiar per-level table."""
+    lines = [
+        f"{'lvl':>4} {'dir':>4} {'frontier':>9} {'f-edges':>9}"
+        f" {'examined':>9} {'found':>7}",
+        "-" * 48,
+    ]
+    for t in traces:
+        lines.append(
+            f"{t.level:>4} {t.direction:>4} {t.frontier_size:>9}"
+            f" {t.frontier_edges:>9} {t.edges_examined:>9} {t.discovered:>7}"
+        )
+    total = sum(t.edges_examined for t in traces)
+    lines.append(f"{'':>23} total examined: {total}")
+    return "\n".join(lines)

@@ -1,0 +1,354 @@
+"""Command-line interface: ``parhde`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``layout``
+    Lay out a graph (collection name or edge-list file) and write
+    coordinates and/or a PNG drawing.
+``gaps``
+    Print the Fibonacci-binned adjacency-gap histogram (Figure 2).
+``bench``
+    Simulated phase breakdown and scaling table for one graph.
+``collection``
+    Print the preprocessed collection statistics (Table 2).
+``partition``
+    Layout-driven k-way partitioning with optional FM refinement and a
+    colored drawing (section 4.5.4).
+``zoom``
+    Layout of the k-hop neighborhood of a vertex (section 4.5.2).
+``cluster``
+    Spectral clustering (k-means on the ParHDE embedding) or label
+    propagation, with an optional colored drawing.
+``export-html``
+    Self-contained interactive HTML viewer for a layout.
+``reproduce``
+    Run the paper-reproduction benchmarks (all of them, or by table /
+    figure id) via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import datasets
+from .core import parhde, phde, pivotmds
+from .drawing import save_drawing
+from .graph import fibonacci_histogram, read_edge_list
+from .parallel import BRIDGES_ESM, BRIDGES_RSM, LAPTOP, format_breakdown_table, format_scaling_table
+from .parallel.report import breakdown
+
+_MACHINES = {
+    "bridges-rsm": BRIDGES_RSM,
+    "bridges-esm": BRIDGES_ESM,
+    "laptop": LAPTOP,
+}
+_ALGOS = {"parhde": parhde, "phde": phde, "pivotmds": pivotmds}
+
+
+def _load_graph(spec: str, scale: str, seed: int):
+    if spec in datasets.available() or spec in datasets.PAPER_NAMES.values():
+        return datasets.load(spec, scale=scale, seed=seed)
+    from .graph import preprocess
+
+    return preprocess(read_edge_list(spec, name=spec))
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "graph",
+        help="collection name (e.g. 'barth', 'road') or edge-list file path",
+    )
+    p.add_argument("--scale", default="small", choices=datasets.SCALES)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="parhde", description="Fast spectral graph layout (ICPP'20 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_layout = sub.add_parser("layout", help="compute a layout")
+    _add_graph_args(p_layout)
+    p_layout.add_argument("--algo", default="parhde", choices=sorted(_ALGOS))
+    p_layout.add_argument("-s", "--subspace", type=int, default=10)
+    p_layout.add_argument("--pivots", default="kcenters")
+    p_layout.add_argument("--coords-out", help="write x y per line")
+    p_layout.add_argument("--png", help="write a drawing")
+    p_layout.add_argument("--width", type=int, default=800)
+
+    p_gaps = sub.add_parser("gaps", help="adjacency-gap histogram (Fig 2)")
+    _add_graph_args(p_gaps)
+
+    p_bench = sub.add_parser("bench", help="simulated breakdown + scaling")
+    _add_graph_args(p_bench)
+    p_bench.add_argument("-s", "--subspace", type=int, default=10)
+    p_bench.add_argument("--machine", default="bridges-rsm", choices=sorted(_MACHINES))
+    p_bench.add_argument(
+        "--threads", type=int, nargs="+", default=[1, 4, 7, 14, 28]
+    )
+
+    p_coll = sub.add_parser("collection", help="collection stats (Table 2)")
+    p_coll.add_argument("--scale", default="small", choices=datasets.SCALES)
+    p_coll.add_argument("--seed", type=int, default=0)
+
+    p_part = sub.add_parser("partition", help="layout-driven partitioning")
+    _add_graph_args(p_part)
+    p_part.add_argument("-k", "--parts", type=int, default=2)
+    p_part.add_argument("-s", "--subspace", type=int, default=10)
+    p_part.add_argument("--refine", action="store_true",
+                        help="FM-refine a bipartition (k=2 only)")
+    p_part.add_argument("--out", help="write one part label per line")
+    p_part.add_argument("--png", help="write a colored drawing")
+
+    p_zoom = sub.add_parser("zoom", help="k-hop neighborhood layout")
+    _add_graph_args(p_zoom)
+    p_zoom.add_argument("--center", type=int, default=0)
+    p_zoom.add_argument("--hops", type=int, default=10)
+    p_zoom.add_argument("-s", "--subspace", type=int, default=10)
+    p_zoom.add_argument("--png", help="write the zoomed drawing")
+
+    p_clu = sub.add_parser("cluster", help="spectral / label-prop clustering")
+    _add_graph_args(p_clu)
+    p_clu.add_argument("--method", default="spectral",
+                       choices=("spectral", "labelprop"))
+    p_clu.add_argument("-k", "--clusters", type=int, default=4,
+                       help="cluster count (spectral only)")
+    p_clu.add_argument("--out", help="write one label per line")
+    p_clu.add_argument("--png", help="write a colored drawing")
+
+    p_html = sub.add_parser(
+        "export-html", help="interactive pan/zoom HTML viewer"
+    )
+    _add_graph_args(p_html)
+    p_html.add_argument("-s", "--subspace", type=int, default=10)
+    p_html.add_argument("output", help="HTML file to write")
+
+    p_rep = sub.add_parser(
+        "reproduce", help="run the paper-reproduction benchmarks"
+    )
+    p_rep.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids, e.g. table3 fig4 sssp (default: all)",
+    )
+    p_rep.add_argument("--list", action="store_true", dest="list_only")
+    p_rep.add_argument(
+        "--scale",
+        default=None,
+        choices=datasets.SCALES,
+        help="dataset scale override (sets REPRO_BENCH_SCALE)",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "reproduce":
+        return _reproduce(args, parser)
+
+    if args.command == "collection":
+        rows = datasets.collection_table(args.scale, args.seed)
+        print(datasets.format_table2(rows))
+        return 0
+
+    g = _load_graph(args.graph, args.scale, args.seed)
+    print(f"loaded {g!r}", file=sys.stderr)
+
+    if args.command == "gaps":
+        print(fibonacci_histogram(g).format())
+        return 0
+
+    if args.command == "layout":
+        algo = _ALGOS[args.algo]
+        kwargs = {}
+        if args.algo == "parhde":
+            kwargs["pivots"] = args.pivots
+        res = algo(g, args.subspace, seed=args.seed, **kwargs)
+        print(
+            f"{args.algo}: s={args.subspace} pivots={list(map(int, res.pivots))} "
+            f"dropped={res.dropped}",
+            file=sys.stderr,
+        )
+        if args.coords_out:
+            np.savetxt(args.coords_out, res.coords, fmt="%.10g")
+            print(f"coordinates -> {args.coords_out}", file=sys.stderr)
+        if args.png:
+            save_drawing(
+                g, res.coords, args.png, width=args.width, height=args.width
+            )
+            print(f"drawing -> {args.png}", file=sys.stderr)
+        if not args.coords_out and not args.png:
+            np.savetxt(sys.stdout, res.coords, fmt="%.10g")
+        return 0
+
+    if args.command == "partition":
+        from .partition import (
+            balance,
+            coordinate_bisection,
+            cut_fraction,
+            fm_refine,
+        )
+
+        res = parhde(g, args.subspace, seed=args.seed)
+        parts = coordinate_bisection(g, res.coords, args.parts)
+        if args.refine:
+            if args.parts != 2:
+                parser.error("--refine supports bipartitions (k=2)")
+            parts, stats = fm_refine(g, parts)
+            print(
+                f"FM: cut {stats.cut_before:.0f} -> {stats.cut_after:.0f}",
+                file=sys.stderr,
+            )
+        print(
+            f"k={args.parts}: cut fraction {cut_fraction(g, parts):.4f},"
+            f" balance {balance(parts, args.parts):.3f}",
+            file=sys.stderr,
+        )
+        if args.out:
+            np.savetxt(args.out, parts, fmt="%d")
+            print(f"labels -> {args.out}", file=sys.stderr)
+        if args.png:
+            from .drawing import partition_edge_colors, render_layout, write_png
+
+            u, v = g.edge_list()
+            canvas = render_layout(
+                g,
+                res.coords,
+                width=args.width if hasattr(args, "width") else 800,
+                height=800,
+                edge_colors=partition_edge_colors(u, v, parts),
+            )
+            write_png(args.png, canvas.pixels)
+            print(f"drawing -> {args.png}", file=sys.stderr)
+        if not args.out and not args.png:
+            np.savetxt(sys.stdout, parts, fmt="%d")
+        return 0
+
+    if args.command == "zoom":
+        from .core import zoom_layout
+
+        z = zoom_layout(
+            g, center=args.center, hops=args.hops, s=args.subspace,
+            seed=args.seed,
+        )
+        print(
+            f"zoom: {z.subgraph.n} vertices / {z.subgraph.m} edges within"
+            f" {args.hops} hops of {args.center}",
+            file=sys.stderr,
+        )
+        if args.png:
+            save_drawing(z.subgraph, z.layout.coords, args.png)
+            print(f"drawing -> {args.png}", file=sys.stderr)
+        else:
+            np.savetxt(sys.stdout, z.layout.coords, fmt="%.10g")
+        return 0
+
+    if args.command == "cluster":
+        if args.method == "spectral":
+            from .partition import spectral_clustering
+
+            km = spectral_clustering(g, args.clusters, seed=args.seed)
+            labels = km.labels
+            print(
+                f"spectral clustering: k={args.clusters},"
+                f" inertia {km.inertia:.4g}",
+                file=sys.stderr,
+            )
+        else:
+            from .partition import label_propagation
+
+            lp = label_propagation(g, seed=args.seed)
+            labels = lp.labels
+            print(
+                f"label propagation: {lp.communities} communities in"
+                f" {lp.sweeps} sweeps",
+                file=sys.stderr,
+            )
+        if args.out:
+            np.savetxt(args.out, labels, fmt="%d")
+            print(f"labels -> {args.out}", file=sys.stderr)
+        if args.png:
+            from .drawing import partition_edge_colors, render_layout, write_png
+
+            res = parhde(g, 10, seed=args.seed)
+            u, v = g.edge_list()
+            canvas = render_layout(
+                g, res.coords, width=800, height=800,
+                edge_colors=partition_edge_colors(u, v, labels),
+            )
+            write_png(args.png, canvas.pixels)
+            print(f"drawing -> {args.png}", file=sys.stderr)
+        if not args.out and not args.png:
+            np.savetxt(sys.stdout, labels, fmt="%d")
+        return 0
+
+    if args.command == "export-html":
+        from .drawing import write_interactive_html
+
+        res = parhde(g, args.subspace, seed=args.seed)
+        write_interactive_html(
+            g, res.coords, args.output, title=f"ParHDE: {g.name or args.graph}"
+        )
+        print(f"interactive viewer -> {args.output}", file=sys.stderr)
+        return 0
+
+    if args.command == "bench":
+        machine = _MACHINES[args.machine]
+        res = parhde(g, args.subspace, seed=args.seed)
+        rows = {g.name or args.graph: res.breakdown(machine, max(args.threads))}
+        print(format_breakdown_table(rows))
+        series = {
+            g.name
+            or args.graph: {
+                p: res.simulated_seconds(machine, p) for p in args.threads
+            }
+        }
+        print()
+        print(format_scaling_table(series))
+        return 0
+
+    return 1
+
+
+def _reproduce(args, parser) -> int:
+    import os
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+    if not bench_dir.is_dir():
+        print(
+            "benchmarks/ not found next to the package; run from a source"
+            " checkout",
+            file=sys.stderr,
+        )
+        return 1
+    files = sorted(bench_dir.glob("bench_*.py"))
+    if args.list_only:
+        for f in files:
+            print(f.stem.removeprefix("bench_"))
+        return 0
+    if args.ids:
+        chosen = [
+            f
+            for f in files
+            if any(ident in f.stem for ident in args.ids)
+        ]
+        if not chosen:
+            parser.error(
+                f"no benchmark matches {args.ids}; try 'reproduce --list'"
+            )
+    else:
+        chosen = files
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    import pytest
+
+    return pytest.main(
+        [str(f) for f in chosen] + ["--benchmark-only", "-q"]
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

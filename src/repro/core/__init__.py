@@ -1,0 +1,45 @@
+"""Core layout algorithms: ParHDE, PHDE, PivotMDS, and extensions."""
+
+from .hde import parhde
+from .phde import phde
+from .pivotmds import double_center, pivotmds
+from .pivots import STRATEGIES, random_pivots, select_and_traverse
+from .refine import RefineResult, centroid_sweep, refine, residual
+from .serialize import load_layout, save_layout
+from .subspace_iteration import parhde_refined_subspace, subspace_iterate
+from .result import LayoutResult
+from .stress_majorization import (
+    MajorizationResult,
+    build_terms,
+    stress_majorization,
+)
+from .variants import laplacian_layout, parhde_coupled
+from .zoom import ZoomResult, khop_subgraph, khop_vertices, zoom_layout
+
+__all__ = [
+    "parhde",
+    "phde",
+    "pivotmds",
+    "double_center",
+    "STRATEGIES",
+    "random_pivots",
+    "select_and_traverse",
+    "LayoutResult",
+    "MajorizationResult",
+    "build_terms",
+    "stress_majorization",
+    "laplacian_layout",
+    "parhde_coupled",
+    "RefineResult",
+    "centroid_sweep",
+    "refine",
+    "residual",
+    "save_layout",
+    "load_layout",
+    "subspace_iterate",
+    "parhde_refined_subspace",
+    "ZoomResult",
+    "khop_vertices",
+    "khop_subgraph",
+    "zoom_layout",
+]

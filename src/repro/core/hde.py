@@ -1,0 +1,200 @@
+"""ParHDE: parallel High-Dimensional Embedding (paper Algorithm 3).
+
+The pipeline (see DESIGN.md for the phase inventory):
+
+1. **BFS phase** — ``s`` traversals from pivots (farthest-first by
+   default) produce the distance matrix ``B``; weighted graphs use
+   Delta-stepping SSSP instead of BFS (section 3.3).
+2. **DOrtho phase** — D-orthonormalize ``[1 | B]`` and drop the constant
+   column and any near-dependent columns, giving ``S`` with
+   ``S' D S = I`` and ``S' D 1 = 0``.
+3. **TripleProd phase** — ``P = L S`` (s SpMVs, Laplacian never
+   materialized) then ``Z = S' P`` (dense gemm).
+4. **Eigensolve + projection** ("Other") — the two smallest eigenpairs
+   of the tiny ``Z`` give the axes ``Y``; coordinates are ``S Y``
+   (or ``B Y``; see DESIGN.md section 5 on the paper's pseudocode).
+
+Variants reachable through keyword arguments:
+
+* ``ortho="plain"`` — plain orthogonalization instead of
+  D-orthogonalization: approximates Laplacian eigenvectors (Hall's
+  eigen-projection), the section 4.5.1 variant.
+* ``gs_method="cgs"`` — Classical Gram-Schmidt DOrtho (Table 7).
+* ``pivots="random-concurrent"`` — random pivots with concurrent
+  traversals (Table 6).
+* ``weighted=True`` — Delta-stepping distances on the weighted graph.
+
+The coupled BFS+DOrtho execution the paper mentions alongside Table 7
+lives in :func:`repro.core.variants.parhde_coupled`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..linalg.blas import dense_gemm
+from ..linalg.eigen import extreme_eigenpairs
+from ..linalg.gram_schmidt import d_orthogonalize
+from ..linalg.laplacian import laplacian_spmm
+from ..parallel.costs import KernelCost, Ledger
+from ..parallel.primitives import F64, map_cost
+from .pivots import select_and_traverse
+from .result import LayoutResult
+
+__all__ = ["parhde"]
+
+
+def parhde(
+    g: CSRGraph,
+    s: int = 10,
+    *,
+    dims: int = 2,
+    seed: int = 0,
+    pivots: str = "kcenters",
+    ortho: str = "D",
+    gs_method: str = "mgs",
+    project_basis: str = "S",
+    drop_tol: float = 1e-3,
+    weighted: bool = False,
+    weight_interpretation: str = "distance",
+    delta: float | None = None,
+    ledger: Ledger | None = None,
+) -> LayoutResult:
+    """Compute a ``dims``-dimensional spectral layout of ``g``.
+
+    Parameters
+    ----------
+    g:
+        A connected simple undirected graph (use
+        :func:`repro.graph.preprocess` to extract the largest component
+        first, as the paper does).
+    s:
+        Subspace dimension = number of pivot traversals.  The paper uses
+        10 for timing tables and notes 50 is a common quality choice.
+    dims:
+        Number of layout axes (2 for screen drawings).
+    pivots:
+        ``"kcenters"`` (default), ``"random"`` or ``"random-concurrent"``.
+    ortho:
+        ``"D"`` for degree-normalized axes (default) or ``"plain"`` for
+        Laplacian-eigenvector axes.
+    gs_method:
+        ``"mgs"`` (default) or ``"cgs"``.
+    project_basis:
+        ``"S"`` projects through the orthonormal basis (Koren's
+        derivation); ``"B"`` follows the paper's pseudocode literally.
+    weighted:
+        Use Delta-stepping SSSP distances; requires ``g.is_weighted``.
+    weight_interpretation:
+        ``"distance"`` (default) feeds the edge weights to SSSP as path
+        lengths, the paper's implicit convention.  ``"similarity"``
+        follows HDE's own semantics (section 2.1: heavier = more
+        similar = *closer*): traversals run on inverted weights
+        ``max_w / w`` while the D matrix and Laplacian keep the original
+        similarities.
+    delta:
+        Bucket width for Delta-stepping (default: a standard heuristic).
+    ledger:
+        Optional existing ledger to record costs into (a fresh one is
+        created otherwise and attached to the result).
+
+    Returns
+    -------
+    LayoutResult
+        ``coords`` is ``(n, dims)``; the ledger yields simulated phase
+        times on any :class:`~repro.parallel.MachineSpec`.
+    """
+    if g.n < 3:
+        raise ValueError("layout needs at least 3 vertices")
+    if s < dims:
+        raise ValueError(f"s={s} must be at least dims={dims}")
+    if weighted and not g.is_weighted:
+        raise ValueError("weighted=True requires an edge-weighted graph")
+    if weight_interpretation not in ("distance", "similarity"):
+        raise ValueError(
+            "weight_interpretation must be 'distance' or 'similarity'"
+        )
+    if ortho not in ("D", "plain"):
+        raise ValueError(f"ortho must be 'D' or 'plain', got {ortho!r}")
+    if project_basis not in ("S", "B"):
+        raise ValueError("project_basis must be 'S' or 'B'")
+    led = ledger if ledger is not None else Ledger()
+
+    # Phase 1: BFS (or SSSP) traversals.  Under the similarity reading,
+    # traversal lengths are the inverted weights; everything spectral
+    # (D, L) keeps the original similarities.
+    g_traverse = g
+    if weighted and weight_interpretation == "similarity":
+        g_traverse = g.with_weights(float(g.weights.max()) / g.weights)
+    with led.phase("BFS"):
+        ms = select_and_traverse(
+            g_traverse,
+            s,
+            strategy=pivots,
+            seed=seed,
+            ledger=led,
+            weighted=weighted,
+            delta=delta,
+        )
+    B = ms.distances
+    if weighted:
+        if not np.all(np.isfinite(B)):
+            raise ValueError("graph must be connected (infinite distances found)")
+    elif B.min() < 0:
+        raise ValueError("graph must be connected (unreached vertices found)")
+
+    # Phase 2: D-orthogonalization.
+    d = g.weighted_degrees if ortho == "D" else None
+    with led.phase("DOrtho"):
+        ores = d_orthogonalize(
+            B, d, method=gs_method, drop_tol=drop_tol, ledger=led
+        )
+    if ores.S.shape[1] < dims:
+        raise ValueError(
+            f"only {ores.S.shape[1]} independent distance vectors survived; "
+            f"increase s (got s={s}) or check the graph"
+        )
+    S = ores.S
+
+    # Phase 3: TripleProd — P = L S, then Z = S' P.
+    with led.phase("TripleProd"):
+        P = laplacian_spmm(g, S, ledger=led, subphase="LS")
+        Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")
+
+    # Phase 4 ("Other"): eigensolve on the tiny matrix + back-projection.
+    with led.phase("Other"):
+        evals, Y = extreme_eigenpairs(Z, dims, which="smallest")
+        basis = S if project_basis == "S" else B[:, ores.kept]
+        coords = basis @ Y
+        led.add(
+            map_cost(
+                g.n * S.shape[1] * dims,
+                flops_per_elem=2.0,
+                bytes_per_elem=F64,
+            )
+        )
+
+    return LayoutResult(
+        coords=coords,
+        algorithm="parhde",
+        B=B,
+        S=S,
+        eigenvalues=evals,
+        pivots=ms.sources,
+        bfs_stats=ms.stats,
+        dropped=ores.dropped,
+        ledger=led,
+        params=dict(
+            s=s,
+            dims=dims,
+            seed=seed,
+            pivots=pivots,
+            ortho=ortho,
+            gs_method=gs_method,
+            project_basis=project_basis,
+            weighted=weighted,
+            weight_interpretation=weight_interpretation,
+            delta=delta,
+        ),
+    )

@@ -1,0 +1,88 @@
+"""PHDE: PCA-based high-dimensional embedding (paper Algorithm 2).
+
+Harel & Koren's original HDE — the algorithm most papers mean when they
+say "HDE" (section 4.5.1 discusses the naming).  Same BFS phase as
+ParHDE, but instead of a Laplacian product it column-centers the distance
+matrix and projects onto the two dominant principal components:
+
+1. BFS phase: ``B in R^{n x s}`` of pivot distances;
+2. ColCenter: ``C = B - column_means(B)`` — two-phase (means pass, then
+   subtraction pass) exactly as parallelized in section 3.2;
+3. MatMul: ``M = C' C`` (dense gemm);
+4. Other: top-2 eigenpairs of ``M``; coordinates ``[x, y] = C Y``.
+
+Maximizes node scatter (the denominator of Eq. 1, without the
+D-normalization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..linalg.blas import center_columns, dense_gemm
+from ..linalg.eigen import extreme_eigenpairs
+from ..parallel.costs import Ledger
+from ..parallel.primitives import F64, map_cost
+from .pivots import select_and_traverse
+from .result import LayoutResult
+
+__all__ = ["phde"]
+
+
+def phde(
+    g: CSRGraph,
+    s: int = 10,
+    *,
+    dims: int = 2,
+    seed: int = 0,
+    pivots: str = "kcenters",
+    weighted: bool = False,
+    delta: float | None = None,
+    ledger: Ledger | None = None,
+) -> LayoutResult:
+    """PCA-based HDE layout.  Parameters as in :func:`repro.core.parhde`."""
+    if g.n < 3:
+        raise ValueError("layout needs at least 3 vertices")
+    if s < dims:
+        raise ValueError(f"s={s} must be at least dims={dims}")
+    led = ledger if ledger is not None else Ledger()
+
+    with led.phase("BFS"):
+        ms = select_and_traverse(
+            g, s, strategy=pivots, seed=seed, ledger=led,
+            weighted=weighted, delta=delta,
+        )
+    B = ms.distances
+    if (weighted and not np.all(np.isfinite(B))) or (
+        not weighted and B.min() < 0
+    ):
+        raise ValueError("graph must be connected")
+
+    with led.phase("ColCenter"):
+        C = center_columns(B, led)
+
+    with led.phase("MatMul"):
+        M = dense_gemm(C.T, C, led)
+
+    with led.phase("Other"):
+        evals, Y = extreme_eigenpairs(M, dims, which="largest")
+        coords = C @ Y
+        led.add(
+            map_cost(g.n * s * dims, flops_per_elem=2.0, bytes_per_elem=F64)
+        )
+
+    return LayoutResult(
+        coords=coords,
+        algorithm="phde",
+        B=B,
+        S=C,
+        eigenvalues=evals,
+        pivots=ms.sources,
+        bfs_stats=ms.stats,
+        ledger=led,
+        params=dict(
+            s=s, dims=dims, seed=seed, pivots=pivots,
+            weighted=weighted, delta=delta,
+        ),
+    )

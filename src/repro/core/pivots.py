@@ -1,0 +1,159 @@
+"""Pivot (source vertex) selection strategies for the BFS phase.
+
+The default strategy is the farthest-first traversal — the classical
+2-approximation to the k-centers problem (Gonzalez): start from a random
+vertex, then repeatedly add the vertex farthest from all chosen sources.
+Because the next source depends on the previous traversal, the ``s``
+searches are inherently sequential and each one is internally parallel.
+
+Decoupling source selection from traversal (a ParHDE design change,
+section 3) enables the *random pivots* alternative of Table 6: choose
+all sources uniformly at random up front and run the traversals
+concurrently, one per thread — a large win on small and high-diameter
+graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bfs.direction_optimizing import bfs_distances
+from ..bfs.runner import (
+    MultiSourceResult,
+    farthest_update_cost,
+    run_sources,
+    run_sources_concurrent,
+)
+from ..graph.csr import CSRGraph
+from ..parallel.costs import Ledger
+from ..parallel.primitives import F64, I32, map_cost
+from ..sssp.delta_stepping import delta_stepping
+
+__all__ = ["STRATEGIES", "select_and_traverse", "random_pivots"]
+
+STRATEGIES = ("kcenters", "random", "random-concurrent")
+
+
+def random_pivots(g: CSRGraph, s: int, seed: int = 0) -> np.ndarray:
+    """``s`` distinct vertices chosen uniformly at random."""
+    if s > g.n:
+        raise ValueError(f"cannot choose {s} pivots from {g.n} vertices")
+    rng = np.random.default_rng(seed)
+    return rng.choice(g.n, size=s, replace=False).astype(np.int64)
+
+
+def _kcenters(
+    g: CSRGraph,
+    s: int,
+    seed: int,
+    ledger: Ledger | None,
+    weighted: bool,
+    delta: float | None,
+) -> MultiSourceResult:
+    rng = np.random.default_rng(seed)
+    v = int(rng.integers(g.n))
+    B = np.empty((g.n, s), dtype=np.float64)
+    sources = np.empty(s, dtype=np.int64)
+    stats = []
+    dmin = np.full(g.n, np.inf)
+    for i in range(s):
+        sources[i] = v
+        if weighted:
+            dist, st = delta_stepping(g, v, delta, ledger=_tag(ledger, "traversal"))
+            col = dist
+        else:
+            dist, st = bfs_distances(g, v, ledger=_tag(ledger, "traversal"))
+            col = dist.astype(np.float64)
+        B[:, i] = col
+        stats.append(st)
+        if ledger is not None:
+            # Column write-back (part of the traversal bookkeeping).
+            ledger.add(
+                map_cost(g.n, flops_per_elem=1.0, bytes_per_elem=I32 + F64),
+                subphase="traversal",
+            )
+        # Farthest-first update: d <- min(d, b_i), next source = argmax d
+        # ("BFS: Other" in Table 1; unreachable vertices are excluded so a
+        # disconnected fragment cannot absorb every pivot).
+        reach = col >= 0 if not weighted else np.isfinite(col)
+        np.minimum(dmin, np.where(reach, col, -np.inf), out=dmin)
+        if ledger is not None:
+            ledger.add(farthest_update_cost(g.n), subphase="overhead")
+        if i + 1 < s:
+            v = int(np.argmax(dmin))
+            if dmin[v] <= 0:
+                # Every reachable vertex is already a source (tiny or
+                # disconnected graph): fall back to any unchosen vertex.
+                chosen = set(sources[: i + 1].tolist())
+                v = next(u for u in range(g.n) if u not in chosen)
+    return MultiSourceResult(B, sources, stats)
+
+
+class _TagLedger:
+    """Minimal ledger proxy forcing a fixed subphase on recorded costs."""
+
+    def __init__(self, ledger: Ledger, subphase: str):
+        self._ledger = ledger
+        self._subphase = subphase
+
+    def add(self, cost, subphase: str = "", *, sequential: bool = False) -> None:
+        self._ledger.add(cost, subphase=self._subphase, sequential=sequential)
+
+    @property
+    def current_phase(self) -> str:
+        return self._ledger.current_phase
+
+
+def _tag(ledger: Ledger | None, subphase: str):
+    return None if ledger is None else _TagLedger(ledger, subphase)
+
+
+def select_and_traverse(
+    g: CSRGraph,
+    s: int,
+    *,
+    strategy: str = "kcenters",
+    seed: int = 0,
+    ledger: Ledger | None = None,
+    weighted: bool = False,
+    delta: float | None = None,
+) -> MultiSourceResult:
+    """Choose ``s`` pivots and compute the ``(n, s)`` distance matrix.
+
+    Strategies
+    ----------
+    ``"kcenters"``
+        Farthest-first selection interleaved with parallel traversals
+        (the default algorithm of Table 6).
+    ``"random"``
+        Random pivots, traversals still run one-at-a-time (each
+        internally parallel) — isolates the selection cost.
+    ``"random-concurrent"``
+        Random pivots with all traversals running concurrently, one
+        sequential BFS per thread (the "Rand. Pivots" column of Table 6).
+        Unweighted only.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    if s > g.n:
+        raise ValueError(f"s={s} exceeds vertex count {g.n}")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; options: {STRATEGIES}")
+    if strategy == "kcenters":
+        return _kcenters(g, s, seed, ledger, weighted, delta)
+    sources = random_pivots(g, s, seed)
+    if strategy == "random-concurrent":
+        if weighted:
+            raise ValueError("concurrent traversal supports unweighted BFS only")
+        return run_sources_concurrent(g, sources, ledger=ledger)
+    if weighted:
+        B = np.empty((g.n, s), dtype=np.float64)
+        stats = []
+        for i, src in enumerate(sources):
+            dist, st = delta_stepping(
+                g, int(src), delta, ledger=_tag(ledger, "traversal")
+            )
+            B[:, i] = dist
+            stats.append(st)
+        return MultiSourceResult(B, sources, stats)
+    return run_sources(g, sources, ledger=ledger)

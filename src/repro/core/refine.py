@@ -1,0 +1,127 @@
+"""Weighted-centroid refinement and eigensolver preprocessing (§4.5.3).
+
+Kirmani & Madduri observed that an HDE layout followed by a lightweight
+*weighted centroid* refinement closely approximates the true
+degree-normalized eigenvectors — one can go from the HDE drawing to the
+exact spectral drawing of Figure 1 with a few cheap smoothing sweeps.
+A centroid sweep moves every vertex to the weighted average of its
+neighbors, i.e. applies the walk operator ``D^{-1} A``; interleaved
+D-orthonormalization keeps the axes from collapsing onto the trivial
+eigenvector.  This is exactly power iteration *warm-started* by HDE,
+which is why it converges 22x-131x faster than power iteration from a
+random start (Table 6 of [Kirmani & Madduri 2018], reproduced by
+``benchmarks/bench_refine_eigensolver.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..linalg import blas
+from ..linalg.laplacian import walk_spmm
+from ..parallel.costs import Ledger
+
+__all__ = ["RefineResult", "centroid_sweep", "refine", "residual"]
+
+
+def _d_orthonormalize_columns(
+    X: np.ndarray, d: np.ndarray, ledger: Ledger | None
+) -> np.ndarray:
+    """MGS D-orthonormalization of columns against 1 and each other."""
+    n, k = X.shape
+    ones = np.full(n, 1.0 / np.sqrt(float(d.sum())))
+    basis = [ones]
+    out = np.empty_like(X)
+    for j in range(k):
+        v = X[:, j].copy()
+        for q in basis:
+            coeff = blas.weighted_dot(q, d, v, ledger)
+            blas.axpy(-coeff, q, v, ledger)
+        nrm = blas.weighted_norm(v, d, ledger)
+        if nrm == 0:
+            raise ValueError("refinement collapsed a layout axis")
+        blas.scale(1.0 / nrm, v, ledger)
+        basis.append(v)
+        out[:, j] = v
+    return out
+
+
+def centroid_sweep(
+    g: CSRGraph, coords: np.ndarray, *, ledger: Ledger | None = None
+) -> np.ndarray:
+    """One weighted-centroid smoothing step with re-orthonormalization."""
+    if coords.shape[0] != g.n:
+        raise ValueError("coords row count must equal n")
+    d = g.weighted_degrees
+    Y = walk_spmm(g, coords, ledger=ledger)
+    return _d_orthonormalize_columns(Y, d, ledger)
+
+
+def residual(g: CSRGraph, coords: np.ndarray) -> float:
+    """How far the axes are from walk-matrix eigenvectors.
+
+    Measured as the maximum column D-norm of
+    ``D^{-1} A x - (x' D D^{-1} A x) x`` after D-normalizing ``x``; zero
+    iff every column is an exact eigenvector.
+    """
+    d = g.weighted_degrees
+    total = 0.0
+    for j in range(coords.shape[1]):
+        x = coords[:, j].astype(np.float64, copy=True)
+        nrm = float(np.sqrt(np.dot(x * d, x)))
+        if nrm == 0:
+            return np.inf
+        x /= nrm
+        wx = walk_spmm(g, x)
+        lam = float(np.dot(x * d, wx))
+        r = wx - lam * x
+        total = max(total, float(np.sqrt(np.dot(r * d, r))))
+    return total
+
+
+@dataclass
+class RefineResult:
+    coords: np.ndarray
+    sweeps: int
+    residual: float
+
+
+def refine(
+    g: CSRGraph,
+    coords: np.ndarray,
+    *,
+    tol: float = 1e-6,
+    max_sweeps: int = 1000,
+    ledger: Ledger | None = None,
+) -> RefineResult:
+    """Refine a layout toward the degree-normalized eigenvectors.
+
+    Runs centroid sweeps until the per-sweep coordinate change (maximum
+    column D-norm, sign-adjusted) drops below ``tol``.  Warm-started from
+    an HDE layout this typically needs a small fraction of the sweeps a
+    random start would (the §4.5.3 use case: preprocessing for iterative
+    eigensolvers such as LOBPCG).
+    """
+    d = g.weighted_degrees
+    X = _d_orthonormalize_columns(
+        coords.astype(np.float64, copy=True), d, ledger
+    )
+    sweeps = 0
+    change = np.inf
+    while sweeps < max_sweeps and change > tol:
+        sweeps += 1
+        Xn = centroid_sweep(g, X, ledger=ledger)
+        change = 0.0
+        for j in range(X.shape[1]):
+            diff = Xn[:, j] - X[:, j]
+            summ = Xn[:, j] + X[:, j]
+            cj = min(
+                float(np.sqrt(np.dot(diff * d, diff))),
+                float(np.sqrt(np.dot(summ * d, summ))),
+            )
+            change = max(change, cj)
+        X = Xn
+    return RefineResult(coords=X, sweeps=sweeps, residual=residual(g, X))

@@ -1,0 +1,92 @@
+"""Layout result type shared by ParHDE, PHDE and PivotMDS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..bfs.direction_optimizing import BFSStats
+from ..parallel.costs import Ledger
+from ..parallel.machine import MachineSpec, phase_times, simulate_ledger, subphase_times
+from ..parallel.report import Breakdown
+
+__all__ = ["LayoutResult"]
+
+
+@dataclass
+class LayoutResult:
+    """Coordinates plus everything needed to analyze the run.
+
+    Attributes
+    ----------
+    coords:
+        ``(n, p)`` layout (``p = 2`` by default).
+    algorithm:
+        ``"parhde"``, ``"phde"``, ``"pivotmds"`` or a baseline name.
+    B:
+        ``(n, s)`` raw pivot-distance matrix from the BFS/SSSP phase.
+    S:
+        ``(n, kept)`` orthonormalized subspace basis (ParHDE) or the
+        centered matrix ``C`` (PHDE/PivotMDS).
+    eigenvalues:
+        The ``p`` projected eigenvalues backing the chosen axes.
+    pivots:
+        Source vertices, in traversal order.
+    bfs_stats:
+        Per-traversal statistics (empty for SSSP-free baselines).
+    dropped:
+        Indices of distance vectors discarded as near-dependent.
+    ledger:
+        Cost ledger for the whole run; feeds the machine model.
+    params:
+        Echo of the algorithm parameters for reporting.
+    """
+
+    coords: np.ndarray
+    algorithm: str
+    B: np.ndarray
+    S: np.ndarray
+    eigenvalues: np.ndarray
+    pivots: np.ndarray
+    bfs_stats: list[BFSStats] = field(default_factory=list)
+    dropped: list[int] = field(default_factory=list)
+    ledger: Ledger = field(default_factory=Ledger)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def x(self) -> np.ndarray:
+        return self.coords[:, 0]
+
+    @property
+    def y(self) -> np.ndarray:
+        return self.coords[:, 1]
+
+    # -- performance queries against the machine model ---------------------
+    def simulated_seconds(self, machine: MachineSpec, p: int) -> float:
+        """Total simulated run time on ``p`` threads of ``machine``."""
+        return simulate_ledger(self.ledger, machine, p)
+
+    def phase_seconds(self, machine: MachineSpec, p: int) -> dict[str, float]:
+        """Per-phase simulated seconds (BFS / DOrtho / TripleProd / ...)."""
+        return phase_times(self.ledger, machine, p)
+
+    def subphase_seconds(
+        self, machine: MachineSpec, p: int, phase: str
+    ) -> dict[str, float]:
+        """Within-phase split, e.g. TripleProd -> {LS, S'(LS)}."""
+        return subphase_times(self.ledger, machine, p, phase)
+
+    def breakdown(self, machine: MachineSpec, p: int) -> Breakdown:
+        return Breakdown(machine.name, machine.clamp(p), self.phase_seconds(machine, p))
+
+    def speedup(self, machine: MachineSpec, p: int) -> float:
+        """Relative speedup over the single-threaded simulated time."""
+        t1 = self.simulated_seconds(machine, 1)
+        tp = self.simulated_seconds(machine, p)
+        return t1 / tp if tp > 0 else float("inf")

@@ -1,0 +1,64 @@
+"""Save and load layout results.
+
+Layouts of large graphs are expensive enough to be worth persisting —
+the zoom feature, partitioners and stress majorization all consume a
+previously computed layout.  The archive stores the numeric payload of
+a :class:`LayoutResult` (coordinates, distance matrix, subspace,
+eigenvalues, pivots) plus the parameter echo; the cost ledger and BFS
+statistics are runtime artifacts and are not serialized.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..parallel.costs import Ledger
+from .result import LayoutResult
+
+__all__ = ["save_layout", "load_layout"]
+
+_FORMAT_VERSION = 1
+
+
+def save_layout(result: LayoutResult, path: str | os.PathLike) -> None:
+    """Write a layout to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        coords=result.coords,
+        B=result.B,
+        S=result.S,
+        eigenvalues=result.eigenvalues,
+        pivots=result.pivots,
+        dropped=np.asarray(result.dropped, dtype=np.int64),
+        algorithm=np.array(result.algorithm),
+        params=np.array(json.dumps(result.params, default=str)),
+    )
+
+
+def load_layout(path: str | os.PathLike) -> LayoutResult:
+    """Load a layout saved by :func:`save_layout`.
+
+    The returned result carries an empty ledger (costs are not
+    persisted); performance queries require re-running the algorithm.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported layout archive version {version}"
+            )
+        return LayoutResult(
+            coords=data["coords"],
+            algorithm=str(data["algorithm"]),
+            B=data["B"],
+            S=data["S"],
+            eigenvalues=data["eigenvalues"],
+            pivots=data["pivots"],
+            dropped=data["dropped"].tolist(),
+            ledger=Ledger(),
+            params=json.loads(str(data["params"])),
+        )

@@ -1,0 +1,86 @@
+"""The "zoom" feature: interactive neighborhood layouts (§4.5.2).
+
+Because ParHDE lays out million-edge graphs in real time, the paper adds
+a zoom interaction: pick a vertex in the global layout, extract its
+k-hop neighborhood, and lay out just that subgraph (Figure 8 shows the
+10-hop neighborhood of a barth5 vertex).  The heavy lifting is a single
+truncated BFS plus a small induced-subgraph ParHDE run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bfs.frontier import gather_neighbors
+from ..graph.build import induced_subgraph
+from ..graph.csr import CSRGraph
+from .hde import parhde
+from .result import LayoutResult
+
+__all__ = ["ZoomResult", "khop_vertices", "khop_subgraph", "zoom_layout"]
+
+
+def khop_vertices(g: CSRGraph, center: int, hops: int) -> np.ndarray:
+    """Sorted ids of all vertices within ``hops`` of ``center``."""
+    if not 0 <= center < g.n:
+        raise ValueError("center out of range")
+    if hops < 0:
+        raise ValueError("hops must be >= 0")
+    visited = np.zeros(g.n, dtype=bool)
+    visited[center] = True
+    frontier = np.array([center], dtype=np.int64)
+    for _ in range(hops):
+        if len(frontier) == 0:
+            break
+        nbrs, _, _ = gather_neighbors(g, frontier)
+        nbrs = nbrs.astype(np.int64)
+        fresh = np.unique(nbrs[~visited[nbrs]])
+        visited[fresh] = True
+        frontier = fresh
+    return np.flatnonzero(visited).astype(np.int64)
+
+
+def khop_subgraph(
+    g: CSRGraph, center: int, hops: int
+) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph of the k-hop ball and the original vertex ids.
+
+    ``ids[k]`` is the original id of subgraph vertex ``k``; the center's
+    new id is ``searchsorted(ids, center)``.
+    """
+    ids = khop_vertices(g, center, hops)
+    sub = induced_subgraph(g, ids, name=f"{g.name or 'graph'}-zoom")
+    return sub, ids
+
+
+@dataclass
+class ZoomResult:
+    """Neighborhood layout plus the id mapping back to the host graph."""
+
+    layout: LayoutResult
+    subgraph: CSRGraph
+    vertex_ids: np.ndarray  # original id of each subgraph vertex
+    center: int  # original id
+    hops: int
+
+    @property
+    def center_local(self) -> int:
+        return int(np.searchsorted(self.vertex_ids, self.center))
+
+
+def zoom_layout(
+    g: CSRGraph, center: int, hops: int = 10, s: int = 10, **hde_kwargs
+) -> ZoomResult:
+    """Lay out the ``hops``-hop neighborhood of ``center`` with ParHDE.
+
+    Extra keyword arguments flow to :func:`repro.core.parhde`.  The
+    induced ball is connected by construction, so no LCC pass is needed.
+    """
+    sub, ids = khop_subgraph(g, center, hops)
+    s_eff = min(s, max(2, sub.n - 1))
+    layout = parhde(sub, s_eff, **hde_kwargs)
+    return ZoomResult(
+        layout=layout, subgraph=sub, vertex_ids=ids, center=center, hops=hops
+    )

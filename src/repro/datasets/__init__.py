@@ -1,0 +1,23 @@
+"""Scaled stand-ins for the paper's Table 2 evaluation collection."""
+
+from .collection import (
+    LARGE_FIVE,
+    PAPER_NAMES,
+    SCALES,
+    SMALL_FIVE,
+    available,
+    collection_table,
+    format_table2,
+    load,
+)
+
+__all__ = [
+    "LARGE_FIVE",
+    "SMALL_FIVE",
+    "PAPER_NAMES",
+    "SCALES",
+    "available",
+    "load",
+    "collection_table",
+    "format_table2",
+]

@@ -1,0 +1,25 @@
+"""Drawing substrate: PNG encoding, rasterization, layout rendering."""
+
+from .color import PALETTE, category_colors, partition_edge_colors
+from .png import read_png, write_png
+from .projection import project_orthographic, rotation_matrix, turntable_views
+from .raster import Canvas
+from .render import fit_to_canvas, render_layout, save_drawing
+from .svg import write_interactive_html, write_svg
+
+__all__ = [
+    "PALETTE",
+    "category_colors",
+    "partition_edge_colors",
+    "read_png",
+    "write_png",
+    "Canvas",
+    "rotation_matrix",
+    "project_orthographic",
+    "turntable_views",
+    "fit_to_canvas",
+    "render_layout",
+    "save_drawing",
+    "write_svg",
+    "write_interactive_html",
+]

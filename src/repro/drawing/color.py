@@ -1,0 +1,57 @@
+"""Color utilities for layout rendering.
+
+Section 4.5.4: the authors color intra- and inter-partition edges
+differently to visualize partitioning/clustering output.  This module
+provides a small qualitative palette and the edge-coloring helper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PALETTE", "partition_edge_colors", "category_colors"]
+
+# A colorblind-aware qualitative palette (Okabe-Ito).
+PALETTE: tuple[tuple[int, int, int], ...] = (
+    (0, 114, 178),    # blue
+    (230, 159, 0),    # orange
+    (0, 158, 115),    # green
+    (204, 121, 167),  # purple-pink
+    (213, 94, 0),     # vermillion
+    (86, 180, 233),   # sky
+    (240, 228, 66),   # yellow
+    (0, 0, 0),        # black
+)
+
+
+def category_colors(labels: np.ndarray) -> np.ndarray:
+    """Map integer category labels to palette RGB rows (cycled)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(labels) and labels.min() < 0:
+        raise ValueError("labels must be nonnegative")
+    pal = np.array(PALETTE, dtype=np.uint8)
+    return pal[labels % len(pal)]
+
+
+def partition_edge_colors(
+    u: np.ndarray,
+    v: np.ndarray,
+    parts: np.ndarray,
+    *,
+    cut_color: tuple[int, int, int] = (213, 94, 0),
+    by_partition: bool = True,
+) -> np.ndarray:
+    """Per-edge colors for a partition visualization.
+
+    Cut edges (endpoints in different parts) get ``cut_color``; internal
+    edges get their partition's palette color (or black when
+    ``by_partition`` is False).
+    """
+    parts = np.asarray(parts, dtype=np.int64)
+    pu, pv = parts[u], parts[v]
+    colors = np.zeros((len(u), 3), dtype=np.uint8)
+    internal = pu == pv
+    if by_partition:
+        colors[internal] = category_colors(pu[internal])
+    colors[~internal] = np.array(cut_color, dtype=np.uint8)
+    return colors

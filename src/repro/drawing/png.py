@@ -1,0 +1,93 @@
+"""Minimal pure-Python PNG writer/reader.
+
+The paper renders layouts with "an open-source PNG format file writer"
+(untimed, section 4.1).  This is ours: truecolor 8-bit, zlib-compressed,
+filter type 0 scanlines — everything a graph drawing needs, nothing
+more.  The reader exists for round-trip tests and only supports what the
+writer emits.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = ["write_png", "read_png"]
+
+_MAGIC = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def write_png(path: str | os.PathLike, image: np.ndarray) -> None:
+    """Write an ``(h, w, 3)`` uint8 RGB image as a PNG file."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
+        raise ValueError("image must be (h, w, 3) uint8")
+    h, w = image.shape[:2]
+    if h < 1 or w < 1:
+        raise ValueError("image must be at least 1x1")
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, 2, 0, 0, 0)  # 8-bit truecolor
+    # Filter byte 0 (None) prepended to every scanline.
+    raw = np.empty((h, 1 + w * 3), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = image.reshape(h, w * 3)
+    idat = zlib.compress(raw.tobytes(), level=6)
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(_chunk(b"IHDR", ihdr))
+        fh.write(_chunk(b"IDAT", idat))
+        fh.write(_chunk(b"IEND", b""))
+
+
+def read_png(path: str | os.PathLike) -> np.ndarray:
+    """Read a PNG produced by :func:`write_png` back into an array.
+
+    Supports only this module's output profile: 8-bit truecolor, no
+    interlace, filter type 0 on every scanline.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data[:8] != _MAGIC:
+        raise ValueError("not a PNG file")
+    pos = 8
+    width = height = None
+    idat = b""
+    while pos < len(data):
+        (length,) = struct.unpack(">I", data[pos : pos + 4])
+        tag = data[pos + 4 : pos + 8]
+        payload = data[pos + 8 : pos + 8 + length]
+        crc = struct.unpack(">I", data[pos + 8 + length : pos + 12 + length])[0]
+        if crc != (zlib.crc32(tag + payload) & 0xFFFFFFFF):
+            raise ValueError(f"bad CRC in {tag!r} chunk")
+        if tag == b"IHDR":
+            width, height, depth, ctype, comp, filt, interlace = struct.unpack(
+                ">IIBBBBB", payload
+            )
+            if (depth, ctype, comp, filt, interlace) != (8, 2, 0, 0, 0):
+                raise ValueError("unsupported PNG profile")
+        elif tag == b"IDAT":
+            idat += payload
+        elif tag == b"IEND":
+            break
+        pos += 12 + length
+    if width is None or height is None:
+        raise ValueError("missing IHDR")
+    raw = np.frombuffer(zlib.decompress(idat), dtype=np.uint8)
+    stride = 1 + width * 3
+    if len(raw) != height * stride:
+        raise ValueError("scanline data size mismatch")
+    raw = raw.reshape(height, stride)
+    if np.any(raw[:, 0] != 0):
+        raise ValueError("only filter type 0 is supported")
+    return raw[:, 1:].reshape(height, width, 3).copy()

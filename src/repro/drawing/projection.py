@@ -1,0 +1,61 @@
+"""Projecting 3D layouts to 2D for rendering.
+
+The paper fixes ``p = 2`` for screen layouts but the pipeline supports
+``p = 3`` (section 2.1); ``parhde(g, dims=3)`` returns three axes.  This
+module turns such layouts into drawable 2D views: a rotation about
+arbitrary axes followed by orthographic projection, plus a turntable
+helper for generating view sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rotation_matrix", "project_orthographic", "turntable_views"]
+
+
+def rotation_matrix(yaw: float = 0.0, pitch: float = 0.0, roll: float = 0.0) -> np.ndarray:
+    """3D rotation from Euler angles (radians), applied roll->pitch->yaw."""
+    cy, sy = np.cos(yaw), np.sin(yaw)
+    cp, sp = np.cos(pitch), np.sin(pitch)
+    cr, sr = np.cos(roll), np.sin(roll)
+    rz = np.array([[cy, -sy, 0.0], [sy, cy, 0.0], [0.0, 0.0, 1.0]])
+    ry = np.array([[cp, 0.0, sp], [0.0, 1.0, 0.0], [-sp, 0.0, cp]])
+    rx = np.array([[1.0, 0.0, 0.0], [0.0, cr, -sr], [0.0, sr, cr]])
+    return rz @ ry @ rx
+
+
+def project_orthographic(
+    coords3d: np.ndarray,
+    *,
+    yaw: float = 0.0,
+    pitch: float = 0.0,
+    roll: float = 0.0,
+) -> np.ndarray:
+    """Rotate a 3D layout and drop the depth axis.
+
+    Returns ``(n, 2)`` screen coordinates (x, y of the rotated frame).
+    """
+    coords3d = np.asarray(coords3d, dtype=np.float64)
+    if coords3d.ndim != 2 or coords3d.shape[1] != 3:
+        raise ValueError("coords3d must be (n, 3)")
+    R = rotation_matrix(yaw, pitch, roll)
+    return (coords3d @ R.T)[:, :2]
+
+
+def turntable_views(
+    coords3d: np.ndarray, frames: int = 8, *, pitch: float = 0.35
+) -> list[np.ndarray]:
+    """Orthographic views rotating once around the vertical axis.
+
+    Render each returned ``(n, 2)`` array (e.g. with
+    :func:`repro.drawing.save_drawing`) for a turntable animation.
+    """
+    if frames < 1:
+        raise ValueError("frames must be >= 1")
+    return [
+        project_orthographic(
+            coords3d, yaw=2.0 * np.pi * k / frames, pitch=pitch
+        )
+        for k in range(frames)
+    ]

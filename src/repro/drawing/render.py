@@ -1,0 +1,88 @@
+"""Render a layout to an image: edges as straight lines (Figure 1 style)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .png import write_png
+from .raster import Canvas
+
+__all__ = ["fit_to_canvas", "render_layout", "save_drawing"]
+
+
+def fit_to_canvas(
+    coords: np.ndarray, width: int, height: int, margin: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scale layout coordinates into pixel space, preserving aspect ratio.
+
+    Returns ``(px, py)`` float arrays; the layout is centered with
+    ``margin`` pixels of padding on every side.
+    """
+    if coords.ndim != 2 or coords.shape[1] < 2:
+        raise ValueError("coords must be (n, >=2)")
+    if margin * 2 >= min(width, height):
+        raise ValueError("margin leaves no drawable area")
+    x, y = coords[:, 0], coords[:, 1]
+    span_x = float(x.max() - x.min()) or 1.0
+    span_y = float(y.max() - y.min()) or 1.0
+    scale = min((width - 2 * margin) / span_x, (height - 2 * margin) / span_y)
+    px = (x - x.min()) * scale
+    py = (y - y.min()) * scale
+    px += (width - px.max() - px.min()) / 2 if len(px) else 0
+    py += (height - py.max() - py.min()) / 2 if len(py) else 0
+    return px, py
+
+
+def render_layout(
+    g: CSRGraph,
+    coords: np.ndarray,
+    *,
+    width: int = 800,
+    height: int = 800,
+    margin: int = 20,
+    edge_color: tuple[int, int, int] = (40, 40, 40),
+    edge_colors: np.ndarray | None = None,
+    vertex_color: tuple[int, int, int] | None = None,
+    vertex_radius: int = 1,
+    background: tuple[int, int, int] = (255, 255, 255),
+    max_edges: int | None = None,
+    seed: int = 0,
+) -> Canvas:
+    """Draw the node-link diagram of ``g`` under ``coords``.
+
+    ``edge_colors`` (``(m, 3)`` uint8, aligned with
+    :meth:`CSRGraph.edge_list`) overrides ``edge_color`` — used for the
+    partition visualizations.  ``max_edges`` randomly subsamples the
+    edges drawn, which keeps renders of dense graphs legible and fast.
+    """
+    if coords.shape[0] != g.n:
+        raise ValueError("coords rows must equal vertex count")
+    px, py = fit_to_canvas(coords, width, height, margin)
+    canvas = Canvas(width, height, background)
+    u, v = g.edge_list()
+    if max_edges is not None and len(u) > max_edges:
+        sel = np.random.default_rng(seed).choice(
+            len(u), size=max_edges, replace=False
+        )
+        u, v = u[sel], v[sel]
+        if edge_colors is not None:
+            edge_colors = edge_colors[sel]
+    colors = edge_colors if edge_colors is not None else edge_color
+    canvas.draw_lines(px[u], py[u], px[v], py[v], colors)
+    if vertex_color is not None:
+        canvas.draw_points(px, py, vertex_color, radius=vertex_radius)
+    return canvas
+
+
+def save_drawing(
+    g: CSRGraph,
+    coords: np.ndarray,
+    path: str | os.PathLike,
+    **render_kwargs,
+) -> None:
+    """Render and write a PNG in one call."""
+    canvas = render_layout(g, coords, **render_kwargs)
+    write_png(path, canvas.pixels)

@@ -1,0 +1,186 @@
+"""SVG and interactive HTML export.
+
+Section 4.5.2 motivates the zoom feature with "future browser-based
+interactive graph visualization"; this module delivers that artifact: a
+plain SVG writer for documents, and a self-contained HTML page with the
+layout as inline SVG plus pan/zoom (wheel + drag) and vertex tooltips —
+no external assets, viewable offline.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .render import fit_to_canvas
+
+__all__ = ["write_svg", "write_interactive_html"]
+
+
+def _edge_svg(
+    g: CSRGraph,
+    px: np.ndarray,
+    py: np.ndarray,
+    edge_color: str,
+    stroke_width: float,
+    max_edges: int | None,
+    seed: int,
+) -> str:
+    u, v = g.edge_list()
+    if max_edges is not None and len(u) > max_edges:
+        sel = np.random.default_rng(seed).choice(
+            len(u), size=max_edges, replace=False
+        )
+        u, v = u[sel], v[sel]
+    parts = [
+        f'<g stroke="{edge_color}" stroke-width="{stroke_width}"'
+        ' stroke-linecap="round" fill="none">'
+    ]
+    for a, b in zip(u.tolist(), v.tolist()):
+        parts.append(
+            f'<line x1="{px[a]:.2f}" y1="{py[a]:.2f}"'
+            f' x2="{px[b]:.2f}" y2="{py[b]:.2f}"/>'
+        )
+    parts.append("</g>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    g: CSRGraph,
+    coords: np.ndarray,
+    path: str | os.PathLike,
+    *,
+    width: int = 800,
+    height: int = 800,
+    margin: int = 20,
+    edge_color: str = "#282828",
+    stroke_width: float = 0.5,
+    max_edges: int | None = None,
+    seed: int = 0,
+) -> None:
+    """Write the node-link diagram as a standalone SVG file."""
+    px, py = fit_to_canvas(coords, width, height, margin)
+    body = _edge_svg(g, px, py, edge_color, stroke_width, max_edges, seed)
+    svg = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}"'
+        f' height="{height}" viewBox="0 0 {width} {height}">\n'
+        f'<rect width="100%" height="100%" fill="white"/>\n{body}\n</svg>\n'
+    )
+    with open(path, "w") as fh:
+        fh.write(svg)
+
+
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ margin: 0; font-family: system-ui, sans-serif; }}
+  header {{ padding: 8px 14px; background: #f4f4f4; font-size: 14px; }}
+  #view {{ cursor: grab; display: block; }}
+  circle {{ fill: #0072b2; }}
+  circle:hover {{ fill: #d55e00; }}
+</style>
+</head>
+<body>
+<header>{title} &mdash; n={n}, m={m}. Drag to pan, wheel to zoom,
+hover a vertex for its id.</header>
+<svg id="view" width="{width}" height="{height}"
+     viewBox="0 0 {width} {height}">
+<rect width="200%" height="200%" x="-50%" y="-50%" fill="white"/>
+<g id="world">
+{edges}
+<g>
+{vertices}
+</g>
+</g>
+</svg>
+<script>
+(function () {{
+  var svg = document.getElementById("view");
+  var world = document.getElementById("world");
+  var tx = 0, ty = 0, scale = 1, dragging = null;
+  function apply() {{
+    world.setAttribute("transform",
+      "translate(" + tx + "," + ty + ") scale(" + scale + ")");
+  }}
+  svg.addEventListener("wheel", function (e) {{
+    e.preventDefault();
+    var factor = e.deltaY < 0 ? 1.15 : 1 / 1.15;
+    var pt = svg.createSVGPoint();
+    pt.x = e.clientX; pt.y = e.clientY;
+    var loc = pt.matrixTransform(svg.getScreenCTM().inverse());
+    tx = loc.x - factor * (loc.x - tx);
+    ty = loc.y - factor * (loc.y - ty);
+    scale *= factor;
+    apply();
+  }});
+  svg.addEventListener("mousedown", function (e) {{
+    dragging = {{ x: e.clientX - tx, y: e.clientY - ty }};
+    svg.style.cursor = "grabbing";
+  }});
+  window.addEventListener("mousemove", function (e) {{
+    if (!dragging) return;
+    tx = e.clientX - dragging.x;
+    ty = e.clientY - dragging.y;
+    apply();
+  }});
+  window.addEventListener("mouseup", function () {{
+    dragging = null;
+    svg.style.cursor = "grab";
+  }});
+}})();
+</script>
+</body>
+</html>
+"""
+
+
+def write_interactive_html(
+    g: CSRGraph,
+    coords: np.ndarray,
+    path: str | os.PathLike,
+    *,
+    title: str = "ParHDE layout",
+    width: int = 900,
+    height: int = 700,
+    margin: int = 25,
+    vertex_radius: float = 1.6,
+    max_edges: int | None = 20000,
+    max_vertices: int | None = 5000,
+    seed: int = 0,
+) -> None:
+    """Write a self-contained interactive HTML viewer for a layout.
+
+    Pan with the mouse, zoom with the wheel, hover vertices for ids —
+    the "browser-based interactive graph visualization" the paper's
+    zoom feature targets.  Edge and vertex counts are capped (randomly
+    subsampled) to keep the page responsive.
+    """
+    px, py = fit_to_canvas(coords, width, height, margin)
+    edges = _edge_svg(g, px, py, "#30303080", 0.4, max_edges, seed)
+    ids = np.arange(g.n)
+    if max_vertices is not None and g.n > max_vertices:
+        ids = np.random.default_rng(seed).choice(
+            g.n, size=max_vertices, replace=False
+        )
+    vparts = []
+    for v in ids.tolist():
+        vparts.append(
+            f'<circle cx="{px[v]:.2f}" cy="{py[v]:.2f}"'
+            f' r="{vertex_radius}"><title>vertex {v}</title></circle>'
+        )
+    html = _HTML_TEMPLATE.format(
+        title=title,
+        n=g.n,
+        m=g.m,
+        width=width,
+        height=height,
+        edges=edges,
+        vertices="\n".join(vparts),
+    )
+    with open(path, "w") as fh:
+        fh.write(html)

@@ -1,0 +1,189 @@
+"""Compressed sparse row graph representation.
+
+ParHDE stores graphs in a CSR-like format (paper section 3.1): an offsets
+array ``indptr`` of length ``n + 1`` and a concatenated adjacency array
+``indices`` holding both directions of every undirected edge.  Unweighted
+graphs carry no weight array and never materialize the Laplacian; the
+diagonal is reconstructed from the degree array on the fly (section 4.4
+notes this avoids MKL's sparse-matrix allocation entirely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected simple graph in CSR form.
+
+    Invariants (checked by :meth:`validate`):
+
+    * ``indptr`` is nondecreasing, ``indptr[0] == 0``,
+      ``indptr[-1] == len(indices)``;
+    * adjacency lists are sorted ascending and contain no duplicates;
+    * no self loops;
+    * symmetric: ``v in Adj(u)`` iff ``u in Adj(v)`` (with equal weight).
+
+    Use :func:`repro.graph.build.from_edges` to construct instances from
+    raw edge lists; it enforces all of the above.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[n + 1]`` adjacency offsets.
+    indices:
+        ``int32[2m]`` concatenated sorted adjacency lists.
+    weights:
+        ``float64[2m]`` positive edge weights, or ``None`` for an
+        unweighted graph (all weights implicitly 1).
+    name:
+        Optional label used in reports.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None = None
+    name: str = ""
+    _cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    @property
+    def nnz(self) -> int:
+        """Stored adjacency entries (= 2 m)."""
+        return len(self.indices)
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """``int64[n]`` vertex degrees (adjacency list lengths)."""
+        if "degrees" not in self._cache:
+            self._cache["degrees"] = np.diff(self.indptr)
+        return self._cache["degrees"]
+
+    @property
+    def weighted_degrees(self) -> np.ndarray:
+        """``float64[n]`` sum of incident edge weights (the diagonal of D)."""
+        if "wdegrees" not in self._cache:
+            if self.weights is None:
+                wd = self.degrees.astype(np.float64)
+            else:
+                wd = np.zeros(self.n, dtype=np.float64)
+                np.add.at(
+                    wd,
+                    np.repeat(np.arange(self.n), self.degrees),
+                    self.weights,
+                )
+            self._cache["wdegrees"] = wd
+        return self._cache["wdegrees"]
+
+    @property
+    def average_degree(self) -> float:
+        return self.nnz / self.n if self.n else 0.0
+
+    # -- accessors -------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of vertex ``v``'s sorted adjacency list."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_weights_of(self, v: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors` (ones if unweighted)."""
+        if self.weights is None:
+            return np.ones(self.indptr[v + 1] - self.indptr[v], dtype=np.float64)
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        adj = self.neighbors(u)
+        i = int(np.searchsorted(adj, v))
+        return i < len(adj) and adj[i] == v
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """Each undirected edge once, as ``(u, v)`` arrays with ``u < v``."""
+        src = np.repeat(np.arange(self.n, dtype=self.indices.dtype), self.degrees)
+        keep = src < self.indices
+        return src[keep], self.indices[keep]
+
+    # -- derived graphs ----------------------------------------------------------
+    def with_weights(self, weights: np.ndarray | None) -> "CSRGraph":
+        """Copy of this graph with a replaced (aligned) weight array."""
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if len(weights) != self.nnz:
+                raise ValueError(
+                    f"weights length {len(weights)} != nnz {self.nnz}"
+                )
+            if np.any(weights <= 0):
+                raise ValueError("edge weights must be positive")
+        return CSRGraph(self.indptr, self.indices, weights, self.name)
+
+    def with_name(self, name: str) -> "CSRGraph":
+        return CSRGraph(self.indptr, self.indices, self.weights, name)
+
+    def unweighted(self) -> "CSRGraph":
+        return self.with_weights(None)
+
+    # -- integrity ---------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all structural invariants; raise ``ValueError`` on breach."""
+        if len(self.indptr) < 1 or self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be nondecreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.n
+        ):
+            raise ValueError("adjacency index out of range")
+        deg = self.degrees
+        src = np.repeat(np.arange(self.n), deg)
+        if np.any(src == self.indices):
+            raise ValueError("self loop present")
+        # Sorted, duplicate-free adjacency lists: within each row the
+        # neighbor sequence must be strictly increasing.
+        interior = np.ones(len(self.indices), dtype=bool)
+        interior[self.indptr[:-1][deg > 0]] = False  # row starts
+        if np.any(np.diff(self.indices)[interior[1:]] <= 0):
+            raise ValueError("adjacency lists must be strictly increasing")
+        # Symmetry: the multiset of (u, v) equals the multiset of (v, u).
+        order_fwd = np.lexsort((self.indices, src))
+        order_rev = np.lexsort((src, self.indices))
+        if not (
+            np.array_equal(src[order_fwd], self.indices[order_rev])
+            and np.array_equal(self.indices[order_fwd], src[order_rev])
+        ):
+            raise ValueError("adjacency structure is not symmetric")
+        if self.weights is not None:
+            if len(self.weights) != len(self.indices):
+                raise ValueError("weights misaligned with indices")
+            if np.any(self.weights <= 0):
+                raise ValueError("edge weights must be positive")
+            if not np.allclose(
+                self.weights[order_fwd], self.weights[order_rev]
+            ):
+                raise ValueError("edge weights are not symmetric")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        w = "weighted" if self.is_weighted else "unweighted"
+        label = f" {self.name!r}" if self.name else ""
+        return f"CSRGraph({label} n={self.n} m={self.m} {w})"

@@ -1,0 +1,388 @@
+"""Synthetic graph generators.
+
+These stand in for the paper's inputs (Table 2): the GAP Benchmark Suite
+synthetic generators (uniform random and Kronecker) are reimplemented
+faithfully, and the SuiteSparse real-world matrices are replaced by
+structural analogs that preserve the properties the evaluation depends on
+— degree distribution, diameter, and adjacency-list-gap locality.  See
+DESIGN.md section 2 and :mod:`repro.datasets.collection` for the mapping.
+
+All generators are vectorized (no per-edge Python loops), deterministic
+given a seed, and return simple undirected :class:`CSRGraph` instances;
+connectivity is *not* enforced here — the dataset layer applies the
+paper's largest-connected-component preprocessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .build import from_edges
+from .csr import CSRGraph
+
+__all__ = [
+    "uniform_random",
+    "kronecker",
+    "grid2d",
+    "road_network",
+    "webgraph",
+    "copying_powerlaw",
+    "mesh_with_holes",
+    "random_geometric",
+    "banded",
+    "watts_strogatz",
+    "planted_partition",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "binary_tree",
+]
+
+
+def uniform_random(scale: int, degree: int = 16, seed: int = 0) -> CSRGraph:
+    """GAP ``-u`` uniform random graph: ``n = 2**scale``, ``degree * n``
+    endpoint pairs drawn uniformly (Erdos-Renyi-like; duplicates merge).
+
+    This is the paper's urand27 family: no locality, no skew — the
+    latency-bound best-scaling instance.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    n = 1 << scale
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(degree * n, 2), dtype=np.int64)
+    return from_edges(n, edges[:, 0], edges[:, 1], name=f"urand{scale}")
+
+
+def kronecker(
+    scale: int,
+    degree: int = 16,
+    seed: int = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> CSRGraph:
+    """GAP ``-g`` Kronecker (R-MAT) graph with Graph500 parameters.
+
+    ``n = 2**scale``; each of ``degree * n`` edges picks one quadrant bit
+    per level with probabilities ``(a, b, c, 1-a-b-c)``.  Vertex ids are
+    randomly permuted, as in the GAP generator, which destroys locality
+    (the paper notes kron27's gap distribution matches urand27's).
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("quadrant probabilities must sum below 1")
+    n = 1 << scale
+    m = degree * n
+    rng = np.random.default_rng(seed)
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(m)
+        ubit = (r >= a + b).astype(np.int64)
+        vbit = (((r >= a) & (r < a + b)) | (r >= a + b + c)).astype(np.int64)
+        u = (u << 1) | ubit
+        v = (v << 1) | vbit
+    perm = rng.permutation(n)
+    return from_edges(n, perm[u], perm[v], name=f"kron{scale}")
+
+
+def grid2d(rows: int, cols: int, *, diagonal: bool = False) -> CSRGraph:
+    """Regular 2D grid with 4-point (or 8-point) stencil, row-major ids.
+
+    The 5-point Laplacian stencil of the paper's ecology1 matrix is
+    exactly ``grid2d(1000, 1000)``; we use a scaled version.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must be at least 1x1")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    pairs = [
+        (ids[:, :-1].ravel(), ids[:, 1:].ravel()),   # right
+        (ids[:-1, :].ravel(), ids[1:, :].ravel()),   # down
+    ]
+    if diagonal:
+        pairs.append((ids[:-1, :-1].ravel(), ids[1:, 1:].ravel()))
+        pairs.append((ids[:-1, 1:].ravel(), ids[1:, :-1].ravel()))
+    u = np.concatenate([p[0] for p in pairs])
+    v = np.concatenate([p[1] for p in pairs])
+    return from_edges(rows * cols, u, v, name=f"grid{rows}x{cols}")
+
+
+def road_network(
+    rows: int, cols: int, seed: int = 0, *, keep: float = 0.62
+) -> CSRGraph:
+    """Road-network analog: sparse grid with random edge deletions.
+
+    Keeps each grid edge with probability ``keep``, yielding the low
+    average degree (~2.4 after LCC extraction) and large diameter that
+    make road_usa the worst case for direction-optimizing BFS.
+    Row-major ids give the mild locality real road matrices have.
+    """
+    if not 0 < keep <= 1:
+        raise ValueError("keep must be in (0, 1]")
+    base = grid2d(rows, cols)
+    u, v = base.edge_list()
+    rng = np.random.default_rng(seed)
+    sel = rng.random(len(u)) < keep
+    return from_edges(base.n, u[sel], v[sel], name=f"road{rows}x{cols}")
+
+
+def webgraph(
+    n: int,
+    seed: int = 0,
+    *,
+    avg_degree: float = 55.0,
+    local_fraction: float = 0.95,
+    locality_scale: float = 15.0,
+    skew: float = 0.7,
+) -> CSRGraph:
+    """Web-crawl analog (sk-2005): host-local links + skewed global links.
+
+    Crawl order numbers pages of one host consecutively, so most links
+    have *small* adjacency gaps — the favorable Figure 2 trend that makes
+    the LS SpMM phase unexpectedly fast.  We model this directly: a
+    ``local_fraction`` of each vertex's edges go to geometrically
+    distributed nearby ids, the rest to power-law-skewed global targets
+    (popular hubs at low ids).
+    """
+    if n < 4:
+        raise ValueError("webgraph needs n >= 4")
+    rng = np.random.default_rng(seed)
+    # Heavily skewed out-degrees: sk-2005's hubs reach ~10^7 neighbors
+    # (0.2 of n), so the tail is clipped only at n/6.
+    deg = np.minimum(
+        rng.pareto(1.4, n) * avg_degree * 0.5 + 2, n // 6
+    ).astype(np.int64)
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    e = len(src)
+    is_local = rng.random(e) < local_fraction
+    offs = rng.geometric(1.0 / locality_scale, size=e)
+    sign = rng.integers(0, 2, size=e) * 2 - 1
+    local_dst = np.clip(src + sign * offs, 0, n - 1)
+    # Global links: u^(1/(1-skew)) concentrates mass at low ids (hubs).
+    global_dst = (n * rng.random(e) ** (1.0 / (1.0 - skew))).astype(np.int64)
+    dst = np.where(is_local, local_dst, np.minimum(global_dst, n - 1))
+    return from_edges(n, src, dst, name=f"web{n}")
+
+
+def copying_powerlaw(
+    n: int, out_degree: int = 24, seed: int = 0, *, skew: float = 2.2
+) -> CSRGraph:
+    """Social-network analog (twitter7): power-law degrees, no locality.
+
+    A vectorized copying model — vertex ``i`` links to ``floor(i * U**skew)``
+    for each of its ``out_degree`` stubs, concentrating in-degree on early
+    vertices to produce a heavy-tailed distribution; ids are then shuffled
+    so the ordering carries no locality, as in the twitter7 matrix.
+    """
+    if n < 2:
+        raise ValueError("copying_powerlaw needs n >= 2")
+    rng = np.random.default_rng(seed)
+    src = np.repeat(np.arange(1, n, dtype=np.int64), out_degree)
+    dst = (src * rng.random(len(src)) ** skew).astype(np.int64)
+    perm = rng.permutation(n)
+    return from_edges(n, perm[src], perm[dst], name=f"twitter{n}")
+
+
+def mesh_with_holes(
+    rows: int,
+    cols: int,
+    holes: list[tuple[float, float, float]] | None = None,
+    *,
+    name: str = "",
+) -> CSRGraph:
+    """Triangulated plate with circular holes — the barth5 analog (Fig 1).
+
+    barth5 is a 2D airfoil FEM mesh whose drawing shows four "holes".  We
+    triangulate a ``rows x cols`` grid (4-point stencil plus one diagonal
+    per cell) and delete vertices inside the given holes, each specified
+    as ``(center_row_frac, center_col_frac, radius_frac)``.  The result
+    may be disconnected at the hole rims; callers apply LCC extraction.
+    """
+    if holes is None:
+        holes = [
+            (0.28, 0.28, 0.12),
+            (0.28, 0.72, 0.12),
+            (0.72, 0.28, 0.12),
+            (0.72, 0.72, 0.12),
+        ]
+    base = grid2d(rows, cols, diagonal=False)
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    # Add one diagonal per cell to triangulate.
+    du = ids[:-1, :-1].ravel()
+    dv = ids[1:, 1:].ravel()
+    gu, gv = base.edge_list()
+    u = np.concatenate([gu, du])
+    v = np.concatenate([gv, dv])
+    r = np.repeat(np.arange(rows), cols) / max(rows - 1, 1)
+    c = np.tile(np.arange(cols), rows) / max(cols - 1, 1)
+    alive = np.ones(rows * cols, dtype=bool)
+    for cr, cc, rad in holes:
+        alive &= (r - cr) ** 2 + (c - cc) ** 2 > rad**2
+    sel = alive[u] & alive[v]
+    g = from_edges(
+        rows * cols, u[sel], v[sel], name=name or f"mesh{rows}x{cols}"
+    )
+    return g
+
+
+def random_geometric(
+    n: int, radius: float | None = None, seed: int = 0
+) -> CSRGraph:
+    """Random geometric graph in the unit square — the pa2010 analog.
+
+    Census-block adjacency graphs are near-planar with small degrees and
+    strong spatial locality; connecting points within ``radius`` captures
+    that.  Points are sorted along a space-filling-ish key (row-major
+    cells) so the vertex ordering is locality-friendly like the census
+    ordering.  Defaults to a radius targeting average degree ~5.
+    """
+    from scipy.spatial import cKDTree
+
+    if n < 2:
+        raise ValueError("random_geometric needs n >= 2")
+    if radius is None:
+        radius = float(np.sqrt(5.0 / (np.pi * n)))
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    cells = 1 + int(np.sqrt(n) / 4)
+    key = (pts[:, 0] * cells).astype(np.int64) * cells + (
+        pts[:, 1] * cells
+    ).astype(np.int64)
+    order = np.argsort(key, kind="stable")
+    pts = pts[order]
+    pairs = cKDTree(pts).query_pairs(radius, output_type="ndarray")
+    if len(pairs) == 0:
+        raise ValueError("radius too small: no edges generated")
+    return from_edges(n, pairs[:, 0], pairs[:, 1], name=f"geo{n}")
+
+
+def banded(
+    n: int, offsets: tuple[int, ...] = (1, 2, 3, 64, 65), *, name: str = ""
+) -> CSRGraph:
+    """Banded stencil graph — the CurlCurl_4 FEM-matrix analog.
+
+    Finite-element matrices on structured meshes have a few fixed
+    diagonals; vertex ``i`` connects to ``i + k`` for each offset ``k``.
+    Excellent gap locality by construction.
+    """
+    if any(k <= 0 for k in offsets):
+        raise ValueError("offsets must be positive")
+    us, vs = [], []
+    for k in offsets:
+        if k >= n:
+            continue
+        base = np.arange(n - k, dtype=np.int64)
+        us.append(base)
+        vs.append(base + k)
+    if not us:
+        raise ValueError("all offsets exceed n")
+    return from_edges(
+        n, np.concatenate(us), np.concatenate(vs), name=name or f"band{n}"
+    )
+
+
+def watts_strogatz(n: int, k: int = 8, p: float = 0.05, seed: int = 0) -> CSRGraph:
+    """Small-world ring lattice with rewiring — the cage14 analog.
+
+    cage14 (DNA electrophoresis) has near-uniform moderate degrees and a
+    small diameter; a lightly rewired lattice reproduces both, plus the
+    mostly-local gap profile of the original ordering.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("k must be even and >= 2")
+    if n <= k:
+        raise ValueError("need n > k")
+    rng = np.random.default_rng(seed)
+    base = np.arange(n, dtype=np.int64)
+    us, vs = [], []
+    for off in range(1, k // 2 + 1):
+        us.append(base)
+        vs.append((base + off) % n)
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    rewire = rng.random(len(u)) < p
+    v = np.where(rewire, rng.integers(0, n, size=len(v)), v)
+    return from_edges(n, u, v, name=f"sw{n}")
+
+
+# -- elementary graphs for tests and examples --------------------------------
+
+def path_graph(n: int) -> CSRGraph:
+    """Chain of ``n`` vertices (the paper's worst-case BFS depth example)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    base = np.arange(n - 1, dtype=np.int64)
+    return from_edges(n, base, base + 1, name=f"path{n}")
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    base = np.arange(n, dtype=np.int64)
+    return from_edges(n, base, (base + 1) % n, name=f"cycle{n}")
+
+
+def star_graph(n: int) -> CSRGraph:
+    """One hub connected to ``n - 1`` leaves (extreme degree skew)."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return from_edges(n, np.zeros(n - 1, dtype=np.int64), leaves, name=f"star{n}")
+
+
+def complete_graph(n: int) -> CSRGraph:
+    if n < 2:
+        raise ValueError("complete graph needs n >= 2")
+    u, v = np.triu_indices(n, k=1)
+    return from_edges(n, u.astype(np.int64), v.astype(np.int64), name=f"K{n}")
+
+
+def binary_tree(depth: int) -> CSRGraph:
+    """Complete binary tree of the given depth (root = vertex 0)."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    n = (1 << (depth + 1)) - 1
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (child - 1) // 2
+    return from_edges(n, parent, child, name=f"btree{depth}")
+
+
+def planted_partition(
+    n: int,
+    communities: int,
+    *,
+    degree_in: float = 12.0,
+    degree_out: float = 2.0,
+    seed: int = 0,
+) -> CSRGraph:
+    """Stochastic block model with equal-size planted communities.
+
+    Vertices split into ``communities`` consecutive blocks; expected
+    within-block degree is ``degree_in`` and cross-block degree
+    ``degree_out``.  The section 4.5.4 visualizations (coloring
+    intra/inter-cluster edges on a layout) need exactly this kind of
+    ground-truth community structure.  Community of vertex ``v`` is
+    ``v * communities // n`` (block-contiguous ids).
+    """
+    if communities < 1 or communities > n:
+        raise ValueError("need 1 <= communities <= n")
+    if degree_in < 0 or degree_out < 0:
+        raise ValueError("expected degrees must be nonnegative")
+    rng = np.random.default_rng(seed)
+    block = np.arange(n, dtype=np.int64) * communities // n
+    # Within-community stubs.
+    n_in = rng.poisson(degree_in / 2.0, size=n)
+    src_in = np.repeat(np.arange(n, dtype=np.int64), n_in)
+    starts = np.searchsorted(block, block[src_in], side="left")
+    ends = np.searchsorted(block, block[src_in], side="right")
+    dst_in = starts + (
+        rng.random(len(src_in)) * (ends - starts)
+    ).astype(np.int64)
+    # Cross-community stubs (uniform; self-block hits are harmless noise).
+    n_out = rng.poisson(degree_out / 2.0, size=n)
+    src_out = np.repeat(np.arange(n, dtype=np.int64), n_out)
+    dst_out = rng.integers(0, n, size=len(src_out))
+    u = np.concatenate([src_in, src_out])
+    v = np.concatenate([dst_in, dst_out])
+    return from_edges(n, u, v, name=f"sbm{n}x{communities}")

@@ -1,0 +1,88 @@
+"""NetworkX interoperability.
+
+NetworkX is the lingua franca for small-graph work in Python; these
+converters let users bring their graphs in (and carry layouts back out)
+without writing edge-list files.  NetworkX itself is an optional
+dependency — the importers raise a clear error when it is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .build import from_edges
+from .csr import CSRGraph
+
+__all__ = ["from_networkx", "to_networkx", "layout_to_networkx_pos"]
+
+
+def _require_networkx():
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise ImportError(
+            "networkx is required for graph interop; pip install networkx"
+        ) from exc
+    return nx
+
+
+def from_networkx(graph: Any, *, weight: str | None = "weight") -> CSRGraph:
+    """Convert a NetworkX graph to a :class:`CSRGraph`.
+
+    Nodes are relabeled ``0..n-1`` in iteration order (use
+    :func:`node_order` below via the returned name mapping if you need
+    to translate back — or relabel in NetworkX first).  Direction and
+    multi-edges are collapsed per the paper's preprocessing; edge
+    weights are taken from the ``weight`` attribute when every edge has
+    one, otherwise the graph is unweighted.
+    """
+    nx = _require_networkx()
+    if not isinstance(graph, nx.Graph):
+        raise TypeError("expected a networkx graph")
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    u, v, w = [], [], []
+    has_all_weights = weight is not None and graph.number_of_edges() > 0
+    for a, b, data in graph.edges(data=True):
+        u.append(index[a])
+        v.append(index[b])
+        if weight is not None and weight in data:
+            w.append(float(data[weight]))
+        else:
+            has_all_weights = False
+    weights = np.array(w) if has_all_weights else None
+    g = from_edges(
+        n,
+        np.array(u, dtype=np.int64),
+        np.array(v, dtype=np.int64),
+        weights,
+        name=str(graph.name) if graph.name else "",
+    )
+    return g
+
+
+def to_networkx(g: CSRGraph):
+    """Convert a :class:`CSRGraph` to a ``networkx.Graph``."""
+    nx = _require_networkx()
+    G = nx.Graph(name=g.name)
+    G.add_nodes_from(range(g.n))
+    u, v = g.edge_list()
+    if g.weights is None:
+        G.add_edges_from(zip(u.tolist(), v.tolist()))
+    else:
+        deg = g.degrees
+        src = np.repeat(np.arange(g.n), deg)
+        keep = src < g.indices
+        w = g.weights[keep]
+        G.add_weighted_edges_from(
+            zip(u.tolist(), v.tolist(), w.tolist())
+        )
+    return G
+
+
+def layout_to_networkx_pos(coords: np.ndarray) -> dict[int, tuple[float, ...]]:
+    """Coordinates as the ``pos`` dict NetworkX drawing functions expect."""
+    return {i: tuple(row) for i, row in enumerate(coords.tolist())}

@@ -1,0 +1,193 @@
+"""Graph serialization: edge lists, METIS, Matrix Market, NumPy archives.
+
+The paper's inputs come from the SuiteSparse collection (Matrix Market
+files) and GAP generators; this module reads those formats and round-trips
+our own compact ``.npz`` archive for preprocessed graphs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .build import from_edges
+from .csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_metis",
+    "write_metis",
+    "save_npz",
+    "load_npz",
+]
+
+
+def read_edge_list(path: str | os.PathLike, *, name: str = "") -> CSRGraph:
+    """Read a whitespace-separated ``u v [w]`` edge list (0-based ids).
+
+    Lines starting with ``#`` or ``%`` are comments.  The vertex count is
+    ``1 + max id``.
+    """
+    rows: list[tuple[float, ...]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            rows.append(tuple(float(x) for x in parts[:3]))
+    if not rows:
+        return CSRGraph(np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int32))
+    data = np.array(rows, dtype=np.float64)
+    u = data[:, 0].astype(np.int64)
+    v = data[:, 1].astype(np.int64)
+    w = data[:, 2] if data.shape[1] > 2 else None
+    n = int(max(u.max(), v.max())) + 1
+    return from_edges(n, u, v, w, name=name)
+
+
+def write_edge_list(g: CSRGraph, path: str | os.PathLike) -> None:
+    """Write each undirected edge once as ``u v [w]``."""
+    u, v = g.edge_list()
+    with open(path, "w") as fh:
+        fh.write(f"# {g.name or 'graph'}: n={g.n} m={g.m}\n")
+        if g.weights is None:
+            for a, b in zip(u.tolist(), v.tolist()):
+                fh.write(f"{a} {b}\n")
+        else:
+            deg = g.degrees
+            src = np.repeat(np.arange(g.n), deg)
+            keep = src < g.indices
+            w = g.weights[keep]
+            for a, b, ww in zip(u.tolist(), v.tolist(), w.tolist()):
+                fh.write(f"{a} {b} {ww:.17g}\n")
+
+
+def read_matrix_market(path: str | os.PathLike, *, name: str = "") -> CSRGraph:
+    """Read a Matrix Market coordinate file as an undirected graph.
+
+    Supports ``pattern``, ``real`` and ``integer`` fields with
+    ``general`` or ``symmetric`` symmetry; entries are 1-based.  Direction
+    and the strict lower/upper triangle distinction are ignored (the
+    paper symmetrizes all inputs).
+    """
+    with open(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a Matrix Market file")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise ValueError("only coordinate format is supported")
+        pattern = "pattern" in tokens
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nrows, ncols, nnz = (int(x) for x in line.split())
+        n = max(nrows, ncols)
+        u = np.empty(nnz, dtype=np.int64)
+        v = np.empty(nnz, dtype=np.int64)
+        w = None if pattern else np.empty(nnz, dtype=np.float64)
+        for i in range(nnz):
+            parts = fh.readline().split()
+            u[i] = int(parts[0]) - 1
+            v[i] = int(parts[1]) - 1
+            if w is not None:
+                w[i] = abs(float(parts[2]))
+    if w is not None:
+        # Zero/negative numeric entries carry no similarity information.
+        keep = w > 0
+        u, v, w = u[keep], v[keep], w[keep]
+    return from_edges(n, u, v, w, name=name)
+
+
+def write_matrix_market(g: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the adjacency structure as a symmetric coordinate MM file."""
+    u, v = g.edge_list()
+    field = "pattern" if g.weights is None else "real"
+    with open(path, "w") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} symmetric\n")
+        fh.write(f"% {g.name or 'graph'}\n")
+        fh.write(f"{g.n} {g.n} {len(u)}\n")
+        if g.weights is None:
+            for a, b in zip(u.tolist(), v.tolist()):
+                fh.write(f"{b + 1} {a + 1}\n")  # lower triangle: row >= col
+        else:
+            deg = g.degrees
+            src = np.repeat(np.arange(g.n), deg)
+            keep = src < g.indices
+            w = g.weights[keep]
+            for a, b, ww in zip(u.tolist(), v.tolist(), w.tolist()):
+                fh.write(f"{b + 1} {a + 1} {ww:.17g}\n")
+
+
+def read_metis(path: str | os.PathLike, *, name: str = "") -> CSRGraph:
+    """Read a METIS ``.graph`` file (1-based adjacency lists per line)."""
+    with open(path) as fh:
+        lines = [ln for ln in fh if not ln.lstrip().startswith("%")]
+    header = lines[0].split()
+    n = int(header[0])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_weights = fmt.endswith("1") and fmt != "0"
+    us, vs, ws = [], [], []
+    for i, ln in enumerate(lines[1 : n + 1]):
+        parts = ln.split()
+        if has_weights:
+            nbrs = [int(x) - 1 for x in parts[0::2]]
+            wts = [float(x) for x in parts[1::2]]
+        else:
+            nbrs = [int(x) - 1 for x in parts]
+            wts = []
+        us.extend([i] * len(nbrs))
+        vs.extend(nbrs)
+        ws.extend(wts)
+    w = np.array(ws) if has_weights else None
+    return from_edges(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64), w, name=name)
+
+
+def write_metis(g: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a METIS ``.graph`` file."""
+    fmt = "001" if g.is_weighted else "000"
+    with open(path, "w") as fh:
+        fh.write(f"{g.n} {g.m} {fmt}\n" if g.is_weighted else f"{g.n} {g.m}\n")
+        for v in range(g.n):
+            nbrs = g.neighbors(v) + 1
+            if g.is_weighted:
+                wts = g.edge_weights_of(v)
+                fh.write(
+                    " ".join(
+                        f"{int(a)} {w:.17g}" for a, w in zip(nbrs, wts)
+                    )
+                    + "\n"
+                )
+            else:
+                fh.write(" ".join(str(int(a)) for a in nbrs) + "\n")
+
+
+def save_npz(g: CSRGraph, path: str | os.PathLike) -> None:
+    """Save a graph to a compressed NumPy archive."""
+    payload = {
+        "indptr": g.indptr,
+        "indices": g.indices,
+        "name": np.array(g.name),
+    }
+    if g.weights is not None:
+        payload["weights"] = g.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        weights = data["weights"] if "weights" in data.files else None
+        return CSRGraph(
+            data["indptr"],
+            data["indices"],
+            weights,
+            str(data["name"]),
+        )

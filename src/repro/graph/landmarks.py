@@ -1,0 +1,84 @@
+"""Landmark-based approximate distance queries.
+
+HDE's BFS phase already computes exact distances from ``s`` pivots; the
+classic landmark trick turns that same ``(n, s)`` matrix into an oracle
+for *arbitrary* pairs:
+
+    ``d(u, v) <= min_l  d(u, l) + d(l, v)``   (upper bound)
+    ``d(u, v) >= max_l |d(u, l) - d(l, v)|``  (lower bound)
+
+both by the triangle inequality, both exact whenever some landmark lies
+on a shortest u-v path.  This makes the distance matrix a byproduct
+worth keeping — one more reuse of the BFS phase, in the spirit of the
+paper's section 4.5 extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bfs.runner import MultiSourceResult
+from .csr import CSRGraph
+
+__all__ = ["LandmarkIndex", "build_landmark_index"]
+
+
+@dataclass
+class LandmarkIndex:
+    """Distance sketch: exact distances from each vertex to ``s`` landmarks."""
+
+    distances: np.ndarray  # float64[n, s]
+    landmarks: np.ndarray  # int64[s]
+
+    @property
+    def n(self) -> int:
+        return self.distances.shape[0]
+
+    @property
+    def s(self) -> int:
+        return self.distances.shape[1]
+
+    def upper_bound(self, u, v) -> np.ndarray | float:
+        """Triangle upper bound(s) on ``d(u, v)``; vectorized over arrays."""
+        du = self.distances[u]
+        dv = self.distances[v]
+        out = (du + dv).min(axis=-1)
+        return float(out) if np.isscalar(u) and np.isscalar(v) else out
+
+    def lower_bound(self, u, v) -> np.ndarray | float:
+        """Triangle lower bound(s) on ``d(u, v)``."""
+        du = self.distances[u]
+        dv = self.distances[v]
+        out = np.abs(du - dv).max(axis=-1)
+        return float(out) if np.isscalar(u) and np.isscalar(v) else out
+
+    def estimate(self, u, v) -> np.ndarray | float:
+        """Midpoint of the bound interval — the usual point estimate."""
+        return (self.upper_bound(u, v) + self.lower_bound(u, v)) / 2.0
+
+
+def build_landmark_index(
+    g: CSRGraph,
+    s: int = 16,
+    *,
+    strategy: str = "kcenters",
+    seed: int = 0,
+) -> LandmarkIndex:
+    """Pick ``s`` landmarks and run the BFS phase to build the sketch.
+
+    ``strategy`` follows :func:`repro.core.select_and_traverse`
+    (farthest-first landmarks give the best coverage, exactly as they
+    give HDE the best axes).
+    """
+    from ..core.pivots import select_and_traverse
+
+    ms: MultiSourceResult = select_and_traverse(
+        g, s, strategy=strategy, seed=seed
+    )
+    if ms.distances.min() < 0:
+        raise ValueError("graph must be connected")
+    return LandmarkIndex(
+        distances=ms.distances.astype(np.float64), landmarks=ms.sources
+    )

@@ -1,0 +1,47 @@
+"""Sparse and dense linear algebra kernels with cost accounting."""
+
+from .blas import (
+    axpy,
+    center_columns,
+    column_means,
+    dense_gemm,
+    dense_matvec,
+    dot,
+    norm2,
+    scale,
+    weighted_dot,
+    weighted_norm,
+)
+from .eigen import extreme_eigenpairs, jacobi_eigh
+from .gram_schmidt import OrthoResult, d_orthogonalize
+from .laplacian import laplacian_quadratic_form, laplacian_spmm, walk_spmm
+from .lobpcg import LOBPCGResult, lobpcg
+from .power_iteration import PowerIterationResult, power_iteration
+from .spmv import spmm, spmm_cost, spmv
+
+__all__ = [
+    "dot",
+    "weighted_dot",
+    "axpy",
+    "scale",
+    "norm2",
+    "weighted_norm",
+    "column_means",
+    "center_columns",
+    "dense_matvec",
+    "dense_gemm",
+    "jacobi_eigh",
+    "extreme_eigenpairs",
+    "OrthoResult",
+    "d_orthogonalize",
+    "laplacian_spmm",
+    "walk_spmm",
+    "laplacian_quadratic_form",
+    "LOBPCGResult",
+    "lobpcg",
+    "PowerIterationResult",
+    "power_iteration",
+    "spmm",
+    "spmv",
+    "spmm_cost",
+]

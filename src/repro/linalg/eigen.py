@@ -1,0 +1,100 @@
+"""Small dense symmetric eigensolver (cyclic Jacobi).
+
+HDE reduces the layout problem to an eigensolve on the tiny ``s x s``
+projected matrix ``Z = S' L S`` (Algorithm 3 line 19), whose cost is
+negligible next to the graph-sized phases — the paper's "Other" slice.
+The authors call Eigen 3.3.7 for this; we implement the classical cyclic
+Jacobi rotation method from scratch (cross-checked against
+``numpy.linalg.eigh`` in the tests) so the library has no black-box
+numerical dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["jacobi_eigh", "extreme_eigenpairs"]
+
+
+def jacobi_eigh(
+    M: np.ndarray, *, tol: float = 1e-12, max_sweeps: int = 100
+) -> tuple[np.ndarray, np.ndarray]:
+    """All eigenpairs of a symmetric matrix by cyclic Jacobi rotations.
+
+    Returns ``(eigenvalues, eigenvectors)`` with eigenvalues ascending
+    and ``eigenvectors[:, k]`` the unit eigenvector of ``eigenvalues[k]``.
+
+    Convergence: sweeps stop when the off-diagonal Frobenius norm falls
+    below ``tol * ||M||_F``.  For the ``s <= 51`` matrices HDE produces
+    this takes a handful of sweeps.
+    """
+    M = np.asarray(M, dtype=np.float64)
+    if M.ndim != 2 or M.shape[0] != M.shape[1]:
+        raise ValueError("matrix must be square")
+    if not np.allclose(M, M.T, atol=1e-8 * (1.0 + np.abs(M).max())):
+        raise ValueError("matrix must be symmetric")
+    n = M.shape[0]
+    A = (M + M.T) / 2.0  # exact symmetry for stability
+    V = np.eye(n)
+    if n == 1:
+        return A.diagonal().copy(), V
+    fro = np.linalg.norm(A)
+    threshold = tol * (fro if fro > 0 else 1.0)
+
+    for _ in range(max_sweeps):
+        off = np.sqrt(max(np.sum(A * A) - np.sum(A.diagonal() ** 2), 0.0))
+        if off <= threshold:
+            break
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                apq = A[p, q]
+                if abs(apq) <= threshold / (n * n):
+                    continue
+                app, aqq = A[p, p], A[q, q]
+                theta = (aqq - app) / (2.0 * apq)
+                t = np.sign(theta) / (
+                    abs(theta) + np.sqrt(theta * theta + 1.0)
+                )
+                if theta == 0:
+                    t = 1.0
+                c = 1.0 / np.sqrt(t * t + 1.0)
+                s = t * c
+                # Apply the rotation G(p, q, theta) on both sides.
+                Ap = A[:, p].copy()
+                Aq = A[:, q].copy()
+                A[:, p] = c * Ap - s * Aq
+                A[:, q] = s * Ap + c * Aq
+                Ap = A[p, :].copy()
+                Aq = A[q, :].copy()
+                A[p, :] = c * Ap - s * Aq
+                A[q, :] = s * Ap + c * Aq
+                Vp = V[:, p].copy()
+                Vq = V[:, q].copy()
+                V[:, p] = c * Vp - s * Vq
+                V[:, q] = s * Vp + c * Vq
+
+    evals = A.diagonal().copy()
+    order = np.argsort(evals, kind="stable")
+    return evals[order], V[:, order]
+
+
+def extreme_eigenpairs(
+    M: np.ndarray, k: int, which: str = "smallest"
+) -> tuple[np.ndarray, np.ndarray]:
+    """The ``k`` smallest or largest eigenpairs of a symmetric matrix.
+
+    HDE takes the *smallest* eigenvectors of the projected Laplacian
+    ``S' L S`` (minimizing Eq. 1 in the subspace); PHDE and PivotMDS take
+    the *largest* of the PCA covariance ``C' C``.  See DESIGN.md
+    section 5 on the paper's "top two eigenvectors" wording.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    evals, evecs = jacobi_eigh(M)
+    if k > len(evals):
+        raise ValueError(f"requested {k} eigenpairs of a {len(evals)}-dim matrix")
+    if which == "smallest":
+        return evals[:k], evecs[:, :k]
+    if which == "largest":
+        return evals[::-1][:k].copy(), evecs[:, ::-1][:, :k].copy()
+    raise ValueError(f"which must be 'smallest' or 'largest', got {which!r}")

@@ -1,0 +1,140 @@
+"""D-orthogonalization of the distance vectors (the DOrtho phase).
+
+ParHDE replaces plain Gram-Schmidt orthogonalization with
+*D-orthogonalization* (Algorithm 3 lines 9-15): projections use the
+D-inner product ``<x, y>_D = x' diag(d) y``, so the surviving vectors
+approximate solutions of the generalized eigenproblem ``L x = mu D x``
+rather than the standard one.  Setting ``d = 1`` recovers the plain
+orthogonalization of Algorithm 1 (the section 4.5.1 variant).
+
+Two procedures are provided, matching the paper's Table 7 comparison:
+
+* **MGS** (default) — Modified Gram-Schmidt with Level-1 BLAS: each new
+  column is repeatedly updated against every finished column.  Stable and
+  compatible with coupling BFS and orthogonalization.
+* **CGS** — Classical Gram-Schmidt with Level-2 BLAS: all projection
+  coefficients of a column are computed in one ``S' (d * s_i)`` matvec
+  and applied in one block update.  Fewer memory passes and barriers —
+  the paper measures 2.1-2.8x on the phase — but requires all distance
+  vectors to exist up front.
+
+Near-dependent columns (residual norm at most ``drop_tol``) are dropped,
+as in Algorithm 3 line 12-13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel.costs import Ledger
+from . import blas
+
+__all__ = ["OrthoResult", "d_orthogonalize"]
+
+
+@dataclass
+class OrthoResult:
+    """Outcome of a D-orthogonalization pass.
+
+    Attributes
+    ----------
+    S:
+        ``(n, kept)`` matrix whose columns are D-orthonormal (or
+        orthonormal when ``d`` is uniform) — the constant column 0 of the
+        input has already been removed (Algorithm 3 line 16).
+    kept:
+        Indices (into the *input* column numbering, excluding column 0)
+        of the surviving distance vectors.
+    dropped:
+        Indices of the discarded near-dependent columns.
+    """
+
+    S: np.ndarray
+    kept: list[int]
+    dropped: list[int]
+
+
+def d_orthogonalize(
+    B: np.ndarray,
+    d: np.ndarray | None,
+    *,
+    method: str = "mgs",
+    drop_tol: float = 1e-3,
+    ledger: Ledger | None = None,
+) -> OrthoResult:
+    """D-orthonormalize the columns of ``[1 | B]`` and drop column 0.
+
+    Parameters
+    ----------
+    B:
+        ``(n, s)`` distance matrix from the BFS phase (column ``i`` holds
+        hop counts from pivot ``i``).  Not modified.
+    d:
+        Weighted degree vector (the diagonal of ``D``), or ``None`` for
+        plain orthogonalization (Algorithm 1 behaviour).
+    method:
+        ``"mgs"`` or ``"cgs"``.
+    drop_tol:
+        Columns whose residual D-norm is at most this are discarded.
+
+    Returns
+    -------
+    OrthoResult
+        With ``S' D S = I`` over the surviving columns and every column
+        D-orthogonal to the constant vector (hence the layout is centered
+        in the D-weighted sense, constraint ``x' D 1 = 0`` of Eq. 1).
+    """
+    if method not in ("mgs", "cgs"):
+        raise ValueError(f"unknown method {method!r}")
+    n, s = B.shape
+    if d is None:
+        d = np.ones(n, dtype=np.float64)
+    elif len(d) != n:
+        raise ValueError("degree vector length mismatch")
+    elif np.any(d <= 0):
+        raise ValueError("degree vector must be positive")
+
+    # Column 0: the constant vector, D-normalized (Algorithm 3 line 3
+    # writes 1/sqrt(n); under the D-inner product the normalizing factor
+    # is the total weighted degree instead).
+    cols: list[np.ndarray] = []
+    s0 = np.full(n, 1.0 / np.sqrt(float(d.sum())), dtype=np.float64)
+    cols.append(s0)
+
+    kept: list[int] = []
+    dropped: list[int] = []
+    for i in range(s):
+        v = B[:, i].astype(np.float64, copy=True)
+        if method == "mgs":
+            for q in cols:
+                coeff = blas.weighted_dot(q, d, v, ledger)
+                blas.axpy(-coeff, q, v, ledger)
+        else:  # cgs
+            Q = np.column_stack(cols)
+            dv = d * v
+            if ledger is not None:
+                ledger.add(
+                    blas.map_cost(n, flops_per_elem=1.0, bytes_per_elem=3 * 8)
+                )
+            coeffs = blas.dense_matvec(Q.T, dv, ledger)
+            v -= blas.dense_matvec(Q, coeffs, ledger)
+            if ledger is not None:
+                ledger.add(
+                    blas.map_cost(n, flops_per_elem=1.0, bytes_per_elem=3 * 8)
+                )
+        nrm = blas.weighted_norm(v, d, ledger)
+        if nrm <= drop_tol:
+            dropped.append(i)
+            continue
+        blas.scale(1.0 / nrm, v, ledger)
+        cols.append(v)
+        kept.append(i)
+
+    S = (
+        np.column_stack(cols[1:])
+        if kept
+        else np.zeros((n, 0), dtype=np.float64)
+    )
+    return OrthoResult(S=S, kept=kept, dropped=dropped)

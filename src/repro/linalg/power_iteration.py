@@ -1,0 +1,146 @@
+"""D-orthogonal power iteration on the walk matrix.
+
+Computes the dominant non-trivial eigenvectors of ``D^{-1} A`` — i.e. the
+degree-normalized eigenvectors that Koren identifies as the optimal
+layout axes (section 2.1, Figure 1 bottom).  Each vector is obtained by
+repeated application of the walk operator with D-orthogonalization
+against the constant vector and the previously converged vectors
+(deflation), exactly the scheme the prior spectral-drawing work of
+Kirmani & Madduri uses as its exact-eigenvector reference.
+
+The iteration count to a given tolerance is the currency of the
+section 4.5.3 comparison: HDE + centroid refinement reaches the same
+quality 22x-131x faster than running this from a random start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..parallel.costs import Ledger
+from . import blas
+from .laplacian import walk_spmm
+
+__all__ = ["PowerIterationResult", "power_iteration"]
+
+
+@dataclass
+class PowerIterationResult:
+    """Converged degree-normalized eigenvectors and iteration counts."""
+
+    vectors: np.ndarray  # (n, k), D-orthonormal, D-orthogonal to 1
+    eigenvalues: np.ndarray  # walk-matrix eigenvalue estimates
+    iterations: list[int]  # per vector
+    residuals: list[float]  # final |x_{t} - x_{t-1}|_D per vector
+
+    @property
+    def total_iterations(self) -> int:
+        return int(sum(self.iterations))
+
+
+def _project_out(
+    x: np.ndarray, basis: list[np.ndarray], d: np.ndarray, ledger: Ledger | None
+) -> None:
+    for q in basis:
+        coeff = blas.weighted_dot(q, d, x, ledger)
+        blas.axpy(-coeff, q, x, ledger)
+
+
+def power_iteration(
+    g: CSRGraph,
+    k: int = 2,
+    *,
+    tol: float = 1e-8,
+    max_iter: int = 10_000,
+    seed: int = 0,
+    x0: np.ndarray | None = None,
+    ledger: Ledger | None = None,
+) -> PowerIterationResult:
+    """Top ``k`` non-trivial degree-normalized eigenvectors.
+
+    Parameters
+    ----------
+    tol:
+        Convergence when the D-norm of the iterate change drops below
+        ``tol``.
+    x0:
+        Optional ``(n, k)`` initial guess (e.g. an HDE layout, the
+        section 4.5.3 preprocessing use case).  Defaults to random.
+
+    Returns
+    -------
+    PowerIterationResult
+        Vectors satisfy ``x' D x = 1`` and ``x' D 1 = 0``; eigenvalue
+        estimates are the walk-matrix Rayleigh quotients.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = g.n
+    d = g.weighted_degrees
+    if np.any(d == 0):
+        raise ValueError("graph must have no isolated vertices")
+    rng = np.random.default_rng(seed)
+    if x0 is not None:
+        if x0.shape != (n, k):
+            raise ValueError(f"x0 must be (n, {k})")
+        X0 = x0.astype(np.float64, copy=True)
+    else:
+        X0 = rng.standard_normal((n, k))
+
+    ones = np.full(n, 1.0 / np.sqrt(float(d.sum())))
+    basis: list[np.ndarray] = [ones]
+    eigenvalues: list[float] = []
+    iterations: list[int] = []
+    residuals: list[float] = []
+
+    for j in range(k):
+        x = X0[:, j].copy()
+        _project_out(x, basis, d, ledger)
+        nrm = blas.weighted_norm(x, d, ledger)
+        if nrm == 0:
+            x = rng.standard_normal(n)
+            _project_out(x, basis, d, ledger)
+            nrm = blas.weighted_norm(x, d, ledger)
+        blas.scale(1.0 / nrm, x, ledger)
+        it = 0
+        res = np.inf
+        while it < max_iter and res > tol:
+            it += 1
+            # Lazy walk (I + D^{-1}A)/2: shifts the spectrum into [0, 1]
+            # so the iteration cannot lock onto the -1 eigenvalue of
+            # bipartite graphs (Koren's recommendation for exactly this
+            # reason); the walk-matrix eigenvectors are unchanged.
+            y = walk_spmm(g, x, ledger=ledger)
+            y += x
+            y *= 0.5
+            if ledger is not None:
+                from ..parallel.primitives import axpy_cost
+
+                ledger.add(axpy_cost(n))
+            _project_out(y, basis, d, ledger)
+            nrm = blas.weighted_norm(y, d, ledger)
+            if nrm == 0:
+                break
+            blas.scale(1.0 / nrm, y, ledger)
+            diff = y - x
+            res = blas.weighted_norm(diff, d, ledger)
+            # The eigenvector sign is arbitrary; track the closer phase.
+            alt = blas.weighted_norm(y + x, d, ledger)
+            res = min(res, alt)
+            x = y
+        # Rayleigh quotient under the walk operator.
+        wx = walk_spmm(g, x, ledger=ledger)
+        eigenvalues.append(blas.weighted_dot(x, d, wx, ledger))
+        basis.append(x)
+        iterations.append(it)
+        residuals.append(float(res))
+
+    return PowerIterationResult(
+        vectors=np.column_stack(basis[1:]),
+        eigenvalues=np.array(eigenvalues),
+        iterations=iterations,
+        residuals=residuals,
+    )

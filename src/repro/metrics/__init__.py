@@ -1,0 +1,25 @@
+"""Layout quality metrics: stress, subspace angles, edge statistics."""
+
+from .neighborhood import neighborhood_preservation
+from .procrustes import ProcrustesResult, layout_disparity, procrustes_align
+from .quality import (
+    edge_length_stats,
+    principal_angles,
+    rayleigh_quotients,
+    spread,
+)
+from .stress import optimal_scale, sampled_stress, stress_from_distances
+
+__all__ = [
+    "edge_length_stats",
+    "principal_angles",
+    "rayleigh_quotients",
+    "spread",
+    "neighborhood_preservation",
+    "ProcrustesResult",
+    "procrustes_align",
+    "layout_disparity",
+    "sampled_stress",
+    "stress_from_distances",
+    "optimal_scale",
+]

@@ -1,0 +1,63 @@
+"""Neighborhood preservation: do layout neighbors match graph neighbors?
+
+The distance-based drawing study the paper leans on for quality claims
+(Brandes & Pich 2009, cited in §4.5.1) evaluates layouts by how well
+*local* structure survives the projection, complementing stress (a
+global measure).  For each vertex we take its ``k`` nearest neighbors
+in the layout and ask what fraction are adjacent in the graph, where
+``k`` is the vertex's own degree — 1.0 means the drawing's local
+clusters are exactly the graph's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["neighborhood_preservation"]
+
+
+def neighborhood_preservation(
+    g: CSRGraph,
+    coords: np.ndarray,
+    *,
+    sample: int | None = 512,
+    seed: int = 0,
+) -> float:
+    """Mean fraction of layout-nearest neighbors that are graph neighbors.
+
+    Parameters
+    ----------
+    sample:
+        Evaluate on at most this many random vertices (the metric is
+        O(n) per vertex); ``None`` evaluates every vertex.
+
+    Returns
+    -------
+    float in [0, 1]; higher is better.  Isolated vertices are skipped.
+    """
+    if coords.shape[0] != g.n:
+        raise ValueError("coords rows must equal n")
+    from scipy.spatial import cKDTree
+
+    deg = g.degrees
+    vertices = np.flatnonzero(deg > 0)
+    if len(vertices) == 0:
+        return 0.0
+    if sample is not None and len(vertices) > sample:
+        rng = np.random.default_rng(seed)
+        vertices = rng.choice(vertices, size=sample, replace=False)
+    tree = cKDTree(coords)
+    scores = np.empty(len(vertices))
+    for idx, v in enumerate(vertices):
+        k = int(deg[v])
+        # k+1 nearest including the vertex itself.
+        _, near = tree.query(coords[v], k=min(k + 1, g.n))
+        near = np.atleast_1d(near)
+        near = near[near != v][:k]
+        adj = g.neighbors(int(v))
+        scores[idx] = (
+            np.isin(near, adj).sum() / k if k else 0.0
+        )
+    return float(scores.mean())

@@ -1,0 +1,109 @@
+"""Layout quality diagnostics.
+
+Used by the tests and benchmarks to verify that ParHDE's output is a
+*good approximation* of the exact spectral layout — the paper's Figure 1
+claim ("captures the global structure") made quantitative:
+
+* :func:`principal_angles` — angles between the D-weighted subspaces
+  spanned by two layouts; small angles mean the HDE axes nearly span the
+  true eigenvector plane.
+* :func:`edge_length_stats` — the numerator intuition of Eq. 1: a good
+  layout keeps adjacent vertices close relative to the layout's spread.
+* :func:`rayleigh_quotients` — the Eq. 1 objective value of each axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "principal_angles",
+    "edge_length_stats",
+    "rayleigh_quotients",
+    "spread",
+]
+
+
+def _d_orthonormal_basis(X: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """D-orthonormal basis of the column span of ``X`` (drops rank loss)."""
+    cols: list[np.ndarray] = []
+    for j in range(X.shape[1]):
+        v = X[:, j].astype(np.float64, copy=True)
+        for q in cols:
+            v -= np.dot(q * d, v) * q
+        nrm = np.sqrt(max(np.dot(v * d, v), 0.0))
+        if nrm > 1e-10 * max(1.0, np.abs(X[:, j]).max()):
+            cols.append(v / nrm)
+    if not cols:
+        raise ValueError("zero-rank layout")
+    return np.column_stack(cols)
+
+
+def principal_angles(
+    X: np.ndarray, Y: np.ndarray, d: np.ndarray | None = None
+) -> np.ndarray:
+    """Principal angles (radians, ascending) between two column spans.
+
+    Computed under the D-inner product when ``d`` is given.  An angle of
+    0 means the corresponding directions coincide; pi/2 means they are
+    D-orthogonal.
+    """
+    if X.shape[0] != Y.shape[0]:
+        raise ValueError("layouts must have the same number of rows")
+    if d is None:
+        d = np.ones(X.shape[0])
+    Qx = _d_orthonormal_basis(X, d)
+    Qy = _d_orthonormal_basis(Y, d)
+    M = Qx.T @ (d[:, None] * Qy)
+    sigma = np.linalg.svd(M, compute_uv=False)
+    return np.arccos(np.clip(np.sort(sigma)[::-1], -1.0, 1.0))
+
+
+def spread(coords: np.ndarray) -> float:
+    """RMS distance of vertices from the layout centroid."""
+    c = coords - coords.mean(axis=0)
+    return float(np.sqrt((c**2).sum(axis=1).mean()))
+
+
+def edge_length_stats(g: CSRGraph, coords: np.ndarray) -> dict[str, float]:
+    """Edge length summary, normalized by the layout spread.
+
+    Returns mean/median/max relative edge length; small values mean
+    adjacent vertices are drawn close (the Eq. 1 numerator objective).
+    """
+    if coords.shape[0] != g.n:
+        raise ValueError("coords rows must equal n")
+    u, v = g.edge_list()
+    if len(u) == 0:
+        return {"mean": 0.0, "median": 0.0, "max": 0.0}
+    lengths = np.sqrt(((coords[u] - coords[v]) ** 2).sum(axis=1))
+    scale = spread(coords) or 1.0
+    rel = lengths / scale
+    return {
+        "mean": float(rel.mean()),
+        "median": float(np.median(rel)),
+        "max": float(rel.max()),
+    }
+
+
+def rayleigh_quotients(g: CSRGraph, coords: np.ndarray) -> np.ndarray:
+    """Per-axis value of the Eq. 1 objective ``x'Lx / x'Dx``.
+
+    For the exact degree-normalized eigenvectors these equal the
+    generalized eigenvalues ``mu_2, mu_3, ...``; HDE's axes should come
+    close from above.
+    """
+    from ..linalg.laplacian import laplacian_spmm
+
+    d = g.weighted_degrees
+    out = np.empty(coords.shape[1])
+    for j in range(coords.shape[1]):
+        x = coords[:, j] - (
+            np.dot(d, coords[:, j]) / d.sum()
+        )  # remove the trivial component
+        lx = laplacian_spmm(g, x)
+        denom = float(np.dot(x * d, x))
+        out[j] = float(np.dot(x, lx)) / denom if denom > 0 else np.inf
+    return out

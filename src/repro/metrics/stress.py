@@ -1,0 +1,69 @@
+"""Stress: the classical distance-faithfulness measure for layouts.
+
+``stress(X) = sum_{i<j} w_ij (||X_i - X_j|| - d_ij)^2`` with
+``w_ij = d_ij^{-2}`` (normalized stress).  Computing all-pairs graph
+distances is quadratic, so for anything beyond toy graphs we evaluate a
+*pivot-sampled* stress over BFS rows from a handful of sources — the
+same trick HDE itself is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bfs.direction_optimizing import bfs_distances
+from ..graph.csr import CSRGraph
+
+__all__ = ["sampled_stress", "stress_from_distances", "optimal_scale"]
+
+
+def optimal_scale(euclid: np.ndarray, graphd: np.ndarray) -> float:
+    """The scale ``alpha`` minimizing ``sum w (alpha*e - d)^2``.
+
+    Stress is scale-sensitive but layouts are scale-free, so comparisons
+    use the optimally rescaled layout.
+    """
+    w = 1.0 / np.maximum(graphd, 1e-12) ** 2
+    num = float((w * euclid * graphd).sum())
+    den = float((w * euclid * euclid).sum())
+    return num / den if den > 0 else 1.0
+
+
+def stress_from_distances(
+    coords: np.ndarray, sources: np.ndarray, D: np.ndarray
+) -> float:
+    """Normalized stress over the pairs ``(source_i, v)``.
+
+    ``D[k, v]`` is the graph distance from ``sources[k]`` to ``v``.
+    Self-pairs (distance 0) are excluded; the layout is optimally
+    rescaled first.
+    """
+    diffs = coords[sources][:, None, :] - coords[None, :, :]
+    euclid = np.sqrt((diffs**2).sum(axis=2))
+    mask = D > 0
+    e, d = euclid[mask], D[mask]
+    alpha = optimal_scale(e, d)
+    w = 1.0 / d**2
+    return float((w * (alpha * e - d) ** 2).sum() / mask.sum())
+
+
+def sampled_stress(
+    g: CSRGraph, coords: np.ndarray, *, samples: int = 8, seed: int = 0
+) -> float:
+    """Pivot-sampled normalized stress (lower is better).
+
+    Runs ``samples`` BFS traversals from random sources and evaluates
+    the stress restricted to those rows of the distance matrix.
+    """
+    if coords.shape[0] != g.n:
+        raise ValueError("coords rows must equal n")
+    samples = min(samples, g.n)
+    rng = np.random.default_rng(seed)
+    sources = rng.choice(g.n, size=samples, replace=False)
+    D = np.empty((samples, g.n), dtype=np.float64)
+    for k, src in enumerate(sources):
+        dist, _ = bfs_distances(g, int(src))
+        if dist.min() < 0:
+            raise ValueError("graph must be connected")
+        D[k] = dist
+    return stress_from_distances(coords, sources, D)

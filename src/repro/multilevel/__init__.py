@@ -1,0 +1,20 @@
+"""Multilevel layout: heavy-edge coarsening + ParHDE + centroid refinement."""
+
+from .coarsen import CoarseLevel, coarsen, contract, heavy_edge_matching
+from .layout import (
+    MultilevelResult,
+    build_hierarchy,
+    multilevel_layout,
+    prolong,
+)
+
+__all__ = [
+    "CoarseLevel",
+    "heavy_edge_matching",
+    "contract",
+    "coarsen",
+    "MultilevelResult",
+    "build_hierarchy",
+    "prolong",
+    "multilevel_layout",
+]

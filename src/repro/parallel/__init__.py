@@ -1,0 +1,66 @@
+"""Simulated multicore machine model and real thread-pool execution.
+
+See DESIGN.md section 2 for why this substrate exists: it substitutes for
+the 28-core Bridges node the paper measured on, converting per-kernel cost
+records (work / depth / streamed bytes / random cache lines / barriers)
+into simulated seconds for any thread count.
+"""
+
+from .costs import KernelCost, Ledger, PhaseTotals, ZERO_COST
+from .machine import (
+    BRIDGES_ESM,
+    BRIDGES_RSM,
+    LAPTOP,
+    MachineSpec,
+    phase_times,
+    simulate_ledger,
+    subphase_times,
+)
+from .pool import ParallelExecutor, default_threads, split_range
+from .threaded_kernels import (
+    threaded_dortho_sweep,
+    threaded_laplacian_spmm,
+    threaded_spmm,
+)
+from .sensitivity import (
+    SensitivityRow,
+    format_sensitivity,
+    sensitivity_report,
+    sweep_parameter,
+)
+from .report import (
+    Breakdown,
+    breakdown,
+    format_breakdown_table,
+    format_scaling_table,
+    scaling_table,
+)
+
+__all__ = [
+    "KernelCost",
+    "Ledger",
+    "PhaseTotals",
+    "ZERO_COST",
+    "MachineSpec",
+    "BRIDGES_RSM",
+    "BRIDGES_ESM",
+    "LAPTOP",
+    "simulate_ledger",
+    "phase_times",
+    "subphase_times",
+    "ParallelExecutor",
+    "default_threads",
+    "split_range",
+    "threaded_spmm",
+    "threaded_laplacian_spmm",
+    "threaded_dortho_sweep",
+    "Breakdown",
+    "breakdown",
+    "scaling_table",
+    "format_breakdown_table",
+    "format_scaling_table",
+    "SensitivityRow",
+    "sweep_parameter",
+    "sensitivity_report",
+    "format_sensitivity",
+]

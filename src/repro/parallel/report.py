@@ -1,0 +1,111 @@
+"""Human-readable reports from cost ledgers: breakdowns and scaling tables.
+
+These renderers produce the same row/column layouts as the paper's
+evaluation figures, so benchmark output can be compared to the published
+charts cell by cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costs import Ledger
+from .machine import MachineSpec, phase_times, simulate_ledger
+
+__all__ = [
+    "Breakdown",
+    "breakdown",
+    "scaling_table",
+    "format_breakdown_table",
+    "format_scaling_table",
+]
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Per-phase simulated time and percentage split."""
+
+    machine: str
+    threads: int
+    seconds: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def percent(self) -> dict[str, float]:
+        tot = self.total
+        if tot == 0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: 100.0 * v / tot for k, v in self.seconds.items()}
+
+
+def breakdown(ledger: Ledger, machine: MachineSpec, p: int) -> Breakdown:
+    """Phase-time breakdown of a ledger on ``machine`` with ``p`` threads."""
+    return Breakdown(machine.name, machine.clamp(p), phase_times(ledger, machine, p))
+
+
+def scaling_table(
+    ledger: Ledger, machine: MachineSpec, thread_counts: list[int]
+) -> dict[int, float]:
+    """Total simulated seconds at each thread count."""
+    return {p: simulate_ledger(ledger, machine, p) for p in thread_counts}
+
+
+def format_breakdown_table(
+    rows: dict[str, Breakdown], phases: list[str] | None = None
+) -> str:
+    """Render ``graph name -> Breakdown`` as a percentage table.
+
+    Mirrors the stacked-bar charts of Figures 3, 5 and 6: one row per
+    graph, one column per phase, cells are percent of total time.
+    """
+    if not rows:
+        return "(empty)"
+    if phases is None:
+        seen: dict[str, None] = {}
+        for bd in rows.values():
+            for ph in bd.seconds:
+                seen.setdefault(ph, None)
+        phases = list(seen)
+    name_w = max(len("graph"), *(len(n) for n in rows))
+    header = f"{'graph':<{name_w}}  " + "  ".join(f"{ph:>10}" for ph in phases)
+    header += f"  {'total(s)':>10}"
+    lines = [header, "-" * len(header)]
+    for name, bd in rows.items():
+        pct = bd.percent
+        cells = "  ".join(f"{pct.get(ph, 0.0):>9.1f}%" for ph in phases)
+        lines.append(f"{name:<{name_w}}  {cells}  {bd.total:>10.3f}")
+    return "\n".join(lines)
+
+
+def format_scaling_table(
+    rows: dict[str, dict[int, float]], *, relative: bool = True
+) -> str:
+    """Render ``graph name -> {threads: seconds}`` as a speedup table.
+
+    With ``relative=True`` cells show speedup over the 1-thread time
+    (Figure 4 / Table 4 style); otherwise raw simulated seconds.
+    """
+    if not rows:
+        return "(empty)"
+    thread_counts = sorted({p for r in rows.values() for p in r})
+    name_w = max(len("graph"), *(len(n) for n in rows))
+    header = f"{'graph':<{name_w}}  " + "  ".join(
+        f"{f'p={p}':>9}" for p in thread_counts
+    )
+    lines = [header, "-" * len(header)]
+    for name, series in rows.items():
+        base = series.get(1)
+        cells = []
+        for p in thread_counts:
+            v = series.get(p)
+            if v is None:
+                cells.append(f"{'-':>9}")
+            elif relative and base is not None and v > 0:
+                cells.append(f"{base / v:>8.1f}x")
+            else:
+                cells.append(f"{v:>9.3f}")
+        lines.append(f"{name:<{name_w}}  " + "  ".join(cells))
+    return "\n".join(lines)

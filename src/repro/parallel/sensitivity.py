@@ -1,0 +1,112 @@
+"""Machine-model sensitivity analysis.
+
+A simulation-backed reproduction owes the reader an answer to "how much
+do your results depend on the calibration constants?".  This module
+sweeps individual :class:`MachineSpec` parameters over multiplicative
+ranges and reports how a ledger's simulated time (or speedup) responds,
+so every headline number can be tagged with its sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from .costs import Ledger
+from .machine import MachineSpec, simulate_ledger
+
+__all__ = ["SensitivityRow", "sweep_parameter", "sensitivity_report"]
+
+#: Parameters it makes sense to perturb multiplicatively.
+TUNABLE = (
+    "core_ops",
+    "flop_rate",
+    "stream_bw_core",
+    "stream_bw_peak",
+    "dram_latency",
+    "mlp",
+    "random_bw_factor",
+    "region_overhead",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Response of one output metric to one parameter sweep."""
+
+    parameter: str
+    factors: tuple[float, ...]
+    values: tuple[float, ...]
+
+    @property
+    def spread(self) -> float:
+        """max/min of the metric across the sweep (1.0 = insensitive)."""
+        lo, hi = min(self.values), max(self.values)
+        return hi / lo if lo > 0 else float("inf")
+
+
+def _perturb(machine: MachineSpec, name: str, factor: float) -> MachineSpec:
+    if name not in TUNABLE:
+        raise ValueError(
+            f"unknown tunable {name!r}; options: {', '.join(TUNABLE)}"
+        )
+    return replace(machine, **{name: getattr(machine, name) * factor})
+
+
+def sweep_parameter(
+    ledger: Ledger,
+    machine: MachineSpec,
+    parameter: str,
+    *,
+    p: int,
+    factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    metric: str = "time",
+) -> SensitivityRow:
+    """Sweep one machine parameter and evaluate the ledger each time.
+
+    ``metric``: ``"time"`` (simulated seconds at ``p`` threads) or
+    ``"speedup"`` (1-thread time over ``p``-thread time).
+    """
+    if metric not in ("time", "speedup"):
+        raise ValueError("metric must be 'time' or 'speedup'")
+    values = []
+    for f in factors:
+        m = _perturb(machine, parameter, f)
+        t_p = simulate_ledger(ledger, m, p)
+        if metric == "time":
+            values.append(t_p)
+        else:
+            values.append(simulate_ledger(ledger, m, 1) / t_p)
+    return SensitivityRow(parameter, tuple(factors), tuple(values))
+
+
+def sensitivity_report(
+    ledger: Ledger,
+    machine: MachineSpec,
+    *,
+    p: int,
+    metric: str = "speedup",
+    parameters: tuple[str, ...] = TUNABLE,
+    factors: tuple[float, ...] = (0.5, 1.0, 2.0),
+) -> dict[str, SensitivityRow]:
+    """Sweep every tunable parameter; rows keyed by parameter name."""
+    return {
+        name: sweep_parameter(
+            ledger, machine, name, p=p, factors=factors, metric=metric
+        )
+        for name in parameters
+    }
+
+
+def format_sensitivity(rows: dict[str, SensitivityRow]) -> str:
+    """Render a report as a table of metric values per factor."""
+    if not rows:
+        return "(empty)"
+    factors = next(iter(rows.values())).factors
+    header = f"{'parameter':<18} " + "  ".join(
+        f"x{f:<6g}" for f in factors
+    ) + f"  {'spread':>7}"
+    lines = [header, "-" * len(header)]
+    for name, row in rows.items():
+        cells = "  ".join(f"{v:7.2f}" for v in row.values)
+        lines.append(f"{name:<18} {cells}  {row.spread:>6.2f}x")
+    return "\n".join(lines)

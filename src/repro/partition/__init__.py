@@ -1,0 +1,42 @@
+"""Graph partitioning on ParHDE coordinates (section 4.5.4).
+
+Pipeline: layout -> geometric or spectral split -> coordinate-guided
+Fiduccia-Mattheyses refinement -> quality metrics and colored
+visualizations (see :func:`repro.drawing.partition_edge_colors`).
+"""
+
+from .fm import FMStats, boundary_vertices, coordinate_band, fm_refine
+from .kmeans import KMeansResult, kmeans, spectral_clustering
+from .label_propagation import LabelPropagationResult, label_propagation
+from .multilevel_kway import (
+    MultilevelPartition,
+    multilevel_bisection,
+    multilevel_kway,
+)
+from .geometric import axis_split, coordinate_bisection
+from .metrics import balance, conductance, cut_fraction, edge_cut, part_sizes
+from .spectral import median_split, spectral_bisection
+
+__all__ = [
+    "edge_cut",
+    "cut_fraction",
+    "balance",
+    "part_sizes",
+    "conductance",
+    "coordinate_bisection",
+    "axis_split",
+    "spectral_bisection",
+    "median_split",
+    "fm_refine",
+    "FMStats",
+    "boundary_vertices",
+    "coordinate_band",
+    "LabelPropagationResult",
+    "label_propagation",
+    "KMeansResult",
+    "kmeans",
+    "spectral_clustering",
+    "MultilevelPartition",
+    "multilevel_bisection",
+    "multilevel_kway",
+]

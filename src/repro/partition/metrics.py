@@ -1,0 +1,85 @@
+"""Partition quality metrics: cut, balance, conductance.
+
+Section 4.5.4 positions ParHDE coordinates as input to geometric graph
+partitioners (ScalaPart-style) and as a work-reduction hint for
+Kernighan-Lin refinement; this package implements that pipeline, and
+these metrics quantify it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["edge_cut", "cut_fraction", "balance", "part_sizes", "conductance"]
+
+
+def _check(g: CSRGraph, parts: np.ndarray) -> np.ndarray:
+    parts = np.asarray(parts, dtype=np.int64)
+    if len(parts) != g.n:
+        raise ValueError("partition vector length must equal n")
+    if len(parts) and parts.min() < 0:
+        raise ValueError("partition labels must be nonnegative")
+    return parts
+
+
+def edge_cut(g: CSRGraph, parts: np.ndarray) -> float:
+    """Total weight of edges whose endpoints lie in different parts."""
+    parts = _check(g, parts)
+    u, v = g.edge_list()
+    cut = parts[u] != parts[v]
+    if g.weights is None:
+        return float(np.count_nonzero(cut))
+    deg = g.degrees
+    src = np.repeat(np.arange(g.n), deg)
+    keep = src < g.indices
+    return float(g.weights[keep][cut].sum())
+
+
+def cut_fraction(g: CSRGraph, parts: np.ndarray) -> float:
+    """Cut edges as a fraction of all edges (unweighted count)."""
+    parts = _check(g, parts)
+    if g.m == 0:
+        return 0.0
+    u, v = g.edge_list()
+    return float(np.count_nonzero(parts[u] != parts[v])) / g.m
+
+
+def part_sizes(parts: np.ndarray, k: int | None = None) -> np.ndarray:
+    """Vertex count of each part ``0..k-1``."""
+    parts = np.asarray(parts, dtype=np.int64)
+    k = k if k is not None else (int(parts.max()) + 1 if len(parts) else 0)
+    return np.bincount(parts, minlength=k)
+
+
+def balance(parts: np.ndarray, k: int | None = None) -> float:
+    """Load imbalance: ``max part size / ideal size`` (1.0 = perfect)."""
+    sizes = part_sizes(parts, k)
+    if len(sizes) == 0 or sizes.sum() == 0:
+        return 1.0
+    ideal = sizes.sum() / len(sizes)
+    return float(sizes.max() / ideal)
+
+
+def conductance(g: CSRGraph, parts: np.ndarray, part: int = 0) -> float:
+    """Conductance of one part: cut weight over the smaller side's volume."""
+    parts = _check(g, parts)
+    mask = parts == part
+    wdeg = g.weighted_degrees
+    vol_in = float(wdeg[mask].sum())
+    vol_out = float(wdeg[~mask].sum())
+    denom = min(vol_in, vol_out)
+    if denom == 0:
+        return 1.0
+    # Cut incident to this part.
+    u, v = g.edge_list()
+    crossing = mask[u] != mask[v]
+    if g.weights is None:
+        cut = float(np.count_nonzero(crossing))
+    else:
+        deg = g.degrees
+        src = np.repeat(np.arange(g.n), deg)
+        keep = src < g.indices
+        cut = float(g.weights[keep][crossing].sum())
+    return cut / denom

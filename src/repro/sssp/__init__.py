@@ -1,0 +1,15 @@
+"""Parallel single-source shortest paths: Delta-stepping and Dijkstra."""
+
+from .bellman_ford import bellman_ford
+from .buckets import LazyBuckets
+from .delta_stepping import SSSPStats, delta_stepping, suggest_delta
+from .dijkstra import dijkstra
+
+__all__ = [
+    "LazyBuckets",
+    "SSSPStats",
+    "delta_stepping",
+    "suggest_delta",
+    "dijkstra",
+    "bellman_ford",
+]

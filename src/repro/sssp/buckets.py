@@ -1,0 +1,71 @@
+"""Bucket structure for Delta-stepping.
+
+The GAP implementation the paper modifies (section 3.3) uses shared
+buckets plus thread-local buckets merged at a barrier each iteration,
+does not recycle buckets, and skips settled vertices when popping.  This
+lazy array-backed structure reproduces that behaviour: membership is
+derived from the live tentative-distance array when a bucket is popped,
+so stale entries are skipped for free, and a vertex whose distance
+*improves* after being processed automatically becomes poppable again —
+the reinsertion semantics Delta-stepping's inner loop requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LazyBuckets"]
+
+
+class LazyBuckets:
+    """Lazy bucketing over a tentative-distance array.
+
+    A vertex is *active* while its tentative distance is finite and
+    strictly smaller than the distance it was last processed at
+    (``processed_at``, initially ``inf``).  Popping bucket ``k`` returns
+    active vertices whose distance falls in ``[k*delta, (k+1)*delta)``
+    and stamps them processed at their current distance.
+
+    Parameters
+    ----------
+    dist:
+        Shared ``float64[n]`` tentative distances (``inf`` = unreached).
+        The structure reads it live; callers mutate it between pops.
+    delta:
+        Bucket width.
+    """
+
+    def __init__(self, dist: np.ndarray, delta: float):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.dist = dist
+        self.delta = float(delta)
+        self.processed_at = np.full(len(dist), np.inf, dtype=np.float64)
+
+    def bucket_index(self, values: np.ndarray) -> np.ndarray:
+        """Bucket id of each tentative distance (undefined for inf)."""
+        return np.floor(values / self.delta).astype(np.int64)
+
+    def active_mask(self) -> np.ndarray:
+        return np.isfinite(self.dist) & (self.dist < self.processed_at)
+
+    def pop(self, k: int) -> np.ndarray:
+        """Active vertices in bucket ``k``; stamps them processed."""
+        d = self.dist
+        lo, hi = k * self.delta, (k + 1) * self.delta
+        mask = (d >= lo) & (d < hi) & (d < self.processed_at)
+        members = np.flatnonzero(mask).astype(np.int64)
+        self.processed_at[members] = d[members]
+        return members
+
+    def next_nonempty(self, start: int) -> int:
+        """Smallest bucket index ``>= start`` with active vertices, ``-1`` if none.
+
+        Computed directly from the distance array so no bucket list needs
+        maintenance (the "no recycling" design).
+        """
+        active = self.active_mask()
+        if not np.any(active):
+            return -1
+        k = int(np.floor(self.dist[active].min() / self.delta))
+        return max(k, start)

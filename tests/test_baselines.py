@@ -1,0 +1,88 @@
+"""Tests for the prior-implementation and exact-spectral baselines."""
+
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.baselines import (
+    parhde_peak_bytes,
+    prior_hde,
+    prior_peak_bytes,
+    spectral_layout,
+)
+from repro.parallel import BRIDGES_ESM, BRIDGES_RSM
+
+
+class TestPriorHDE:
+    def test_same_math_as_parhde(self, tiny_mesh):
+        """Same seed -> same pivots -> numerically equivalent layout."""
+        ours = parhde(tiny_mesh, s=10, seed=0)
+        prior = prior_hde(tiny_mesh, s=10, seed=0)
+        np.testing.assert_array_equal(ours.pivots, prior.pivots)
+        np.testing.assert_allclose(ours.coords, prior.coords, atol=1e-8)
+
+    def test_parhde_faster_on_low_diameter(self, small_random):
+        ours = parhde(small_random, s=10, seed=0)
+        prior = prior_hde(small_random, s=10, seed=0)
+        for machine, p in ((BRIDGES_RSM, 28), (BRIDGES_ESM, 80)):
+            assert ours.simulated_seconds(machine, p) < prior.simulated_seconds(
+                machine, p
+            )
+
+    def test_prior_bfs_sequential(self, tiny_mesh):
+        prior = prior_hde(tiny_mesh, s=5, seed=0)
+        bfs = prior.ledger.phase_totals()["BFS"]
+        assert bfs.sequential.work > 0
+        assert bfs.sequential.regions == 0
+        # The traversal itself does not shrink with more threads (only
+        # the parallel farthest-vertex selection does).
+        t1 = BRIDGES_RSM.time(bfs.sequential, 1)
+        t28 = BRIDGES_RSM.time_totals(bfs, 28)
+        assert t28 >= t1
+
+    def test_prior_has_laplacian_build_step(self, tiny_mesh):
+        prior = prior_hde(tiny_mesh, s=5, seed=0)
+        subs = prior.ledger.subphase_totals("TripleProd")
+        assert "build-L" in subs
+
+    def test_speedup_grows_with_graph_size(self):
+        """Table 3's key trend: larger graphs, larger ParHDE advantage."""
+        from repro.graph import preprocess, uniform_random
+
+        ratios = []
+        for scale in (8, 11):
+            g = preprocess(uniform_random(scale, degree=8, seed=0))
+            t_prior = prior_hde(g, s=5, seed=0).simulated_seconds(BRIDGES_ESM, 80)
+            t_ours = parhde(g, s=5, seed=0).simulated_seconds(BRIDGES_ESM, 80)
+            ratios.append(t_prior / t_ours)
+        assert ratios[1] > ratios[0]
+
+    def test_peak_memory_roughly_double(self, small_random):
+        prior = prior_peak_bytes(small_random, 10)
+        ours = parhde_peak_bytes(small_random, 10)
+        assert 1.5 < prior / ours < 3.5
+
+
+class TestSpectralLayout:
+    def test_matches_dense_eigenvectors(self, small_grid):
+        res = spectral_layout(small_grid, 2, tol=1e-11, seed=0)
+        # Dense reference via the lazy walk matrix.
+        A = np.zeros((small_grid.n, small_grid.n))
+        for v in range(small_grid.n):
+            A[v, small_grid.neighbors(v)] = 1.0
+        W = A / A.sum(axis=1, keepdims=True)
+        evals = np.sort(np.linalg.eigvals(W).real)[::-1]
+        np.testing.assert_allclose(
+            np.sort(res.eigenvalues)[::-1], evals[1:3], atol=1e-5
+        )
+
+    def test_iterations_reported(self, small_grid):
+        res = spectral_layout(small_grid, 2, tol=1e-8, seed=0)
+        assert len(res.params["iterations"]) == 2
+        assert all(i > 0 for i in res.params["iterations"])
+
+    def test_warm_start_option(self, tiny_mesh):
+        hde = parhde(tiny_mesh, s=10, seed=0)
+        warm = spectral_layout(tiny_mesh, 2, tol=1e-6, seed=0, x0=hde.coords)
+        cold = spectral_layout(tiny_mesh, 2, tol=1e-6, seed=0)
+        assert sum(warm.params["iterations"]) < sum(cold.params["iterations"])

@@ -1,0 +1,258 @@
+"""Tests for the direction-optimizing BFS against independent oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfs import (
+    bfs_distances,
+    bfs_topdown_only,
+    bitmap_to_queue,
+    bottomup_step,
+    gather_neighbors,
+    queue_to_bitmap,
+    run_sources,
+    run_sources_concurrent,
+    topdown_step,
+)
+from repro.graph import from_edges, path_graph, star_graph
+from repro.parallel import Ledger
+
+from conftest import random_connected_graph
+
+
+def nx_distances(g, source):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    u, v = g.edge_list()
+    G.add_edges_from(zip(u.tolist(), v.tolist()))
+    lengths = nx.single_source_shortest_path_length(G, source)
+    out = np.full(g.n, -1, dtype=np.int32)
+    for node, d in lengths.items():
+        out[node] = d
+    return out
+
+
+class TestBFSCorrectness:
+    @pytest.mark.parametrize("source", [0, 3, 77])
+    def test_matches_networkx(self, small_random, source):
+        dist, stats = bfs_distances(small_random, source)
+        np.testing.assert_array_equal(dist, nx_distances(small_random, source))
+        assert stats.reached == small_random.n
+
+    def test_grid(self, small_grid):
+        dist, _ = bfs_distances(small_grid, 0)
+        np.testing.assert_array_equal(dist, nx_distances(small_grid, 0))
+
+    def test_mesh(self, tiny_mesh):
+        dist, _ = bfs_distances(tiny_mesh, 5)
+        np.testing.assert_array_equal(dist, nx_distances(tiny_mesh, 5))
+
+    def test_path_distances(self, path10):
+        dist, stats = bfs_distances(path10, 0)
+        np.testing.assert_array_equal(dist, np.arange(10))
+        # 9 productive levels + the final empty-frontier check level.
+        assert stats.levels == 10
+
+    def test_star_two_levels(self):
+        g = star_graph(20)
+        dist, stats = bfs_distances(g, 0)
+        assert dist[0] == 0
+        assert np.all(dist[1:] == 1)
+
+    def test_unreachable_marked(self):
+        g = from_edges(4, [0], [1])
+        dist, stats = bfs_distances(g, 0)
+        assert dist[2] == -1 and dist[3] == -1
+        assert stats.reached == 2
+
+    def test_source_out_of_range(self, path10):
+        with pytest.raises(ValueError):
+            bfs_distances(path10, 10)
+
+    def test_topdown_only_same_distances(self, small_random):
+        d1, _ = bfs_distances(small_random, 9)
+        d2, s2 = bfs_topdown_only(small_random, 9)
+        np.testing.assert_array_equal(d1, d2)
+        assert s2.edges_bottomup == 0
+
+    def test_direction_optimization_reduces_edges(self, small_random):
+        _, st_opt = bfs_distances(small_random, 0)
+        _, st_td = bfs_topdown_only(small_random, 0)
+        assert st_opt.edges_examined < st_td.edges_examined
+        assert "bu" in st_opt.directions
+
+    def test_topdown_examines_all_edges(self, small_random):
+        _, st_td = bfs_topdown_only(small_random, 0)
+        assert st_td.edges_examined == small_random.nnz
+
+    def test_gamma_bounds(self, small_random):
+        _, stats = bfs_distances(small_random, 0)
+        assert 0 < stats.gamma(small_random.m) <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 60),
+    extra=st.integers(0, 100),
+    seed=st.integers(0, 10_000),
+)
+def test_bfs_property_vs_dijkstra(n, extra, seed):
+    """Property: BFS hop counts equal unit-weight Dijkstra distances."""
+    from repro.sssp import dijkstra
+
+    g = random_connected_graph(n, extra, seed)
+    src = seed % n
+    dist, _ = bfs_distances(g, src)
+    ref = dijkstra(g, src)
+    np.testing.assert_allclose(dist.astype(float), ref)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 50), extra=st.integers(0, 60), seed=st.integers(0, 9999))
+def test_bfs_level_consistency(n, extra, seed):
+    """Property: adjacent vertices' BFS levels differ by at most 1."""
+    g = random_connected_graph(n, extra, seed)
+    dist, _ = bfs_distances(g, 0)
+    u, v = g.edge_list()
+    assert np.all(np.abs(dist[u] - dist[v]) <= 1)
+
+
+class TestSteps:
+    def test_gather_neighbors(self, small_grid):
+        nbrs, counts, starts = gather_neighbors(
+            small_grid, np.array([0, 5, 10])
+        )
+        assert len(nbrs) == counts.sum()
+        for i, v in enumerate([0, 5, 10]):
+            seg = nbrs[starts[i] : starts[i] + counts[i]]
+            np.testing.assert_array_equal(seg, small_grid.neighbors(v))
+
+    def test_gather_empty(self, small_grid):
+        nbrs, counts, starts = gather_neighbors(small_grid, np.array([], dtype=np.int64))
+        assert len(nbrs) == 0 and len(counts) == 0
+
+    def test_bitmap_roundtrip(self):
+        q = np.array([1, 4, 7], dtype=np.int64)
+        np.testing.assert_array_equal(bitmap_to_queue(queue_to_bitmap(q, 10)), q)
+
+    def test_topdown_step_discovers_level1(self, small_grid):
+        dist = np.full(small_grid.n, -1, dtype=np.int32)
+        dist[0] = 0
+        nxt, edges, cost = topdown_step(
+            small_grid, np.array([0], dtype=np.int64), dist, 1, 0.5
+        )
+        np.testing.assert_array_equal(np.sort(nxt), np.sort(small_grid.neighbors(0)))
+        assert edges == small_grid.degree(0)
+        assert cost.regions == 1
+
+    def test_bottomup_step_equivalent(self, small_grid):
+        # Run one top-down level, then check bottom-up finds the same set.
+        d1 = np.full(small_grid.n, -1, dtype=np.int32)
+        d1[0] = 0
+        frontier = np.array([0], dtype=np.int64)
+        nxt_td, _, _ = topdown_step(small_grid, frontier, d1, 1, 0.5)
+
+        d2 = np.full(small_grid.n, -1, dtype=np.int32)
+        d2[0] = 0
+        nxt_bu, edges, _ = bottomup_step(
+            small_grid, queue_to_bitmap(frontier, small_grid.n), d2, 1, 0.5
+        )
+        np.testing.assert_array_equal(np.sort(nxt_td), np.sort(nxt_bu))
+        np.testing.assert_array_equal(d1, d2)
+
+    def test_bottomup_early_exit_counts_less(self, small_random):
+        # With a huge frontier, early exit must scan fewer edges than nnz.
+        dist = np.full(small_random.n, -1, dtype=np.int32)
+        half = small_random.n // 2
+        dist[:half] = 1
+        bitmap = np.zeros(small_random.n, dtype=bool)
+        bitmap[:half] = True
+        _, edges, _ = bottomup_step(small_random, bitmap, dist, 2, 0.5)
+        unvisited_edges = int(small_random.degrees[half:].sum())
+        assert edges < unvisited_edges
+
+
+class TestMultiSource:
+    def test_run_sources_columns(self, small_random):
+        srcs = np.array([0, 5, 9])
+        res = run_sources(small_random, srcs)
+        assert res.distances.shape == (small_random.n, 3)
+        for i, s in enumerate(srcs):
+            ref, _ = bfs_distances(small_random, int(s))
+            np.testing.assert_allclose(res.distances[:, i], ref.astype(float))
+
+    def test_concurrent_same_result(self, small_random):
+        srcs = np.array([2, 8, 33])
+        a = run_sources(small_random, srcs)
+        b = run_sources_concurrent(small_random, srcs)
+        np.testing.assert_allclose(a.distances, b.distances)
+
+    def test_concurrent_fewer_regions(self, small_random):
+        srcs = np.array([2, 8, 33])
+        la, lb = Ledger(), Ledger()
+        with la.phase("BFS"):
+            run_sources(small_random, srcs, ledger=la)
+        with lb.phase("BFS"):
+            run_sources_concurrent(small_random, srcs, ledger=lb)
+        assert lb.total().parallel.regions < la.total().parallel.regions
+
+
+class TestCosts:
+    def test_ledger_records_per_level(self, small_random):
+        led = Ledger()
+        with led.phase("BFS"):
+            _, stats = bfs_distances(small_random, 0, ledger=led)
+        tot = led.total().parallel
+        assert tot.regions >= stats.levels
+        assert tot.work > 0
+
+    def test_sequential_flag(self, small_random):
+        led = Ledger()
+        with led.phase("BFS"):
+            bfs_distances(small_random, 0, ledger=led, sequential=True)
+        tot = led.total()
+        assert tot.parallel.is_zero
+        assert tot.sequential.work > 0
+        assert tot.sequential.regions == 0
+
+
+class TestParents:
+    def test_valid_tree(self, small_random):
+        from repro.bfs import bfs_parents, validate_bfs_tree
+
+        dist, parent, _ = bfs_parents(small_random, 7)
+        validate_bfs_tree(small_random, 7, dist, parent)
+
+    def test_tree_on_mesh(self, tiny_mesh):
+        from repro.bfs import bfs_parents, validate_bfs_tree
+
+        dist, parent, _ = bfs_parents(tiny_mesh, 0)
+        validate_bfs_tree(tiny_mesh, 0, dist, parent)
+
+    def test_unreachable_have_no_parent(self):
+        from repro.bfs import bfs_parents
+
+        g = from_edges(4, [0], [1])
+        dist, parent, _ = bfs_parents(g, 0)
+        assert parent[2] == -1 and parent[3] == -1
+        assert parent[0] == 0 and parent[1] == 0
+
+    def test_path_parent_chain(self, path10):
+        from repro.bfs import bfs_parents
+
+        _, parent, _ = bfs_parents(path10, 0)
+        np.testing.assert_array_equal(
+            parent, [0] + list(range(9))
+        )
+
+    def test_validator_catches_bad_tree(self, small_grid):
+        from repro.bfs import bfs_parents, validate_bfs_tree
+
+        dist, parent, _ = bfs_parents(small_grid, 0)
+        bad = parent.copy()
+        bad[5] = 5  # not a valid parent of vertex 5
+        with pytest.raises(ValueError):
+            validate_bfs_tree(small_grid, 0, dist, bad)

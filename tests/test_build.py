@@ -1,0 +1,147 @@
+"""Tests for preprocessing: LCC extraction, induced subgraphs, relabeling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    from_edges,
+    induced_subgraph,
+    is_connected,
+    preprocess,
+    relabel,
+)
+
+
+class TestPreprocess:
+    def test_extracts_largest_component(self):
+        # Components: {0,1,2} (triangle), {3,4}, {5} isolated.
+        g = from_edges(6, [0, 1, 2, 3], [1, 2, 0, 4])
+        lcc = preprocess(g)
+        assert lcc.n == 3
+        assert lcc.m == 3
+        assert is_connected(lcc)
+
+    def test_preserves_relative_order(self):
+        # LCC is {2, 4, 5}; they must be renumbered 0, 1, 2 in id order.
+        g = from_edges(6, [2, 4, 0], [4, 5, 1])
+        lcc = preprocess(g)
+        assert lcc.n == 3
+        # vertex 2 -> 0, 4 -> 1, 5 -> 2; edges (2,4) and (4,5).
+        assert lcc.has_edge(0, 1)
+        assert lcc.has_edge(1, 2)
+        assert not lcc.has_edge(0, 2)
+
+    def test_connected_input_unchanged(self, small_grid):
+        out = preprocess(small_grid)
+        assert out.n == small_grid.n
+        assert out.m == small_grid.m
+        np.testing.assert_array_equal(out.indices, small_grid.indices)
+
+    def test_tie_goes_to_smallest_labelled_component(self):
+        g = from_edges(4, [0, 2], [1, 3])  # two 2-vertex components
+        lcc = preprocess(g)
+        assert lcc.n == 2
+        assert lcc.has_edge(0, 1)
+
+    def test_empty(self):
+        g = from_edges(0, [], [])
+        assert preprocess(g).n == 0
+
+    def test_weighted_preserved(self):
+        g = from_edges(5, [0, 1, 3], [1, 2, 4], weights=[2.0, 3.0, 9.0])
+        lcc = preprocess(g)
+        assert lcc.n == 3
+        assert lcc.is_weighted
+        assert sorted(lcc.weights.tolist()) == [2.0, 2.0, 3.0, 3.0]
+
+
+class TestInducedSubgraph:
+    def test_mask_and_ids_agree(self, small_grid):
+        ids = np.array([0, 1, 2, 17, 18, 19])
+        mask = np.zeros(small_grid.n, dtype=bool)
+        mask[ids] = True
+        g1 = induced_subgraph(small_grid, ids)
+        g2 = induced_subgraph(small_grid, mask)
+        np.testing.assert_array_equal(g1.indptr, g2.indptr)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_edges_only_inside(self):
+        g = from_edges(5, [0, 1, 2, 3], [1, 2, 3, 4])  # path
+        sub = induced_subgraph(g, np.array([0, 1, 3, 4]))
+        assert sub.n == 4
+        # Surviving edges: (0,1) and (3,4) -> new ids (0,1), (2,3).
+        assert sub.m == 2
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(2, 3)
+
+    def test_validates(self, small_random):
+        sub = induced_subgraph(
+            small_random, np.arange(0, small_random.n, 2)
+        )
+        sub.validate()
+
+    def test_rejects_bad_ids(self, small_grid):
+        with pytest.raises(ValueError, match="out of range"):
+            induced_subgraph(small_grid, np.array([small_grid.n]))
+        with pytest.raises(ValueError, match="mask length"):
+            induced_subgraph(small_grid, np.zeros(3, dtype=bool))
+
+
+class TestRelabel:
+    def test_identity(self, small_grid):
+        out = relabel(small_grid, np.arange(small_grid.n))
+        np.testing.assert_array_equal(out.indices, small_grid.indices)
+
+    def test_roundtrip(self, small_random, rng):
+        perm = rng.permutation(small_random.n)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(len(perm))
+        back = relabel(relabel(small_random, perm), inv)
+        np.testing.assert_array_equal(back.indptr, small_random.indptr)
+        np.testing.assert_array_equal(back.indices, small_random.indices)
+
+    def test_degree_multiset_invariant(self, small_random, rng):
+        perm = rng.permutation(small_random.n)
+        out = relabel(small_random, perm)
+        assert sorted(out.degrees.tolist()) == sorted(
+            small_random.degrees.tolist()
+        )
+        out.validate()
+
+    def test_adjacency_follows_permutation(self):
+        g = from_edges(3, [0, 1], [1, 2])
+        out = relabel(g, np.array([2, 0, 1]))
+        # old edges (0,1), (1,2) -> (2,0), (0,1)
+        assert out.has_edge(2, 0)
+        assert out.has_edge(0, 1)
+        assert not out.has_edge(1, 2)
+
+    def test_weights_follow(self):
+        g = from_edges(3, [0, 1], [1, 2], weights=[5.0, 7.0])
+        out = relabel(g, np.array([2, 0, 1]))
+        # edge (2,0) carries 5.0, edge (0,1) carries 7.0
+        i = np.searchsorted(out.neighbors(0), 1)
+        assert out.edge_weights_of(0)[i] == 7.0
+
+    def test_rejects_non_permutation(self, small_grid):
+        with pytest.raises(ValueError, match="permutation"):
+            relabel(small_grid, np.zeros(small_grid.n, dtype=np.int64))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    k=st.integers(0, 60),
+    seed=st.integers(0, 999),
+)
+def test_preprocess_output_connected(n, k, seed):
+    """Property: the LCC of any edge soup is connected and valid."""
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, size=k)
+    v = rng.integers(0, n, size=k)
+    g = preprocess(from_edges(n, u, v))
+    g.validate()
+    if g.n > 0:
+        assert is_connected(g)

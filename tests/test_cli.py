@@ -1,0 +1,194 @@
+"""Tests for the command-line interface (in-process)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_collection(capsys):
+    assert main(["collection", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "urand27" in out and "road_usa" in out
+
+
+def test_gaps(capsys):
+    assert main(["gaps", "ecology", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "count" in out
+
+
+def test_layout_to_files(tmp_path, capsys):
+    coords = tmp_path / "coords.txt"
+    png = tmp_path / "drawing.png"
+    rc = main(
+        [
+            "layout",
+            "barth",
+            "--scale",
+            "tiny",
+            "-s",
+            "8",
+            "--coords-out",
+            str(coords),
+            "--png",
+            str(png),
+            "--width",
+            "120",
+        ]
+    )
+    assert rc == 0
+    data = np.loadtxt(coords)
+    assert data.ndim == 2 and data.shape[1] == 2
+    from repro.drawing import read_png
+
+    assert read_png(png).shape == (120, 120, 3)
+
+
+def test_layout_stdout(capsys):
+    assert main(["layout", "ecology", "--scale", "tiny", "-s", "4"]) == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) > 100
+
+
+@pytest.mark.parametrize("algo", ["phde", "pivotmds"])
+def test_layout_other_algorithms(algo, tmp_path):
+    coords = tmp_path / "c.txt"
+    rc = main(
+        ["layout", "ecology", "--scale", "tiny", "--algo", algo,
+         "-s", "6", "--coords-out", str(coords)]
+    )
+    assert rc == 0
+    assert np.loadtxt(coords).shape[1] == 2
+
+
+def test_bench(capsys):
+    rc = main(
+        ["bench", "ecology", "--scale", "tiny", "-s", "4",
+         "--threads", "1", "4", "28"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "BFS" in out
+    assert "p=28" in out
+
+
+def test_layout_from_edge_list(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    lines = [f"{i} {i + 1}" for i in range(30)]
+    lines += [f"{i} {i + 2}" for i in range(29)]
+    path.write_text("\n".join(lines) + "\n")
+    coords = tmp_path / "c.txt"
+    rc = main(["layout", str(path), "-s", "4", "--coords-out", str(coords)])
+    assert rc == 0
+    assert np.loadtxt(coords).shape == (31, 2)
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_partition_command(tmp_path, capsys):
+    labels = tmp_path / "parts.txt"
+    png = tmp_path / "parts.png"
+    rc = main(
+        ["partition", "barth", "--scale", "tiny", "-k", "4",
+         "-s", "8", "--out", str(labels), "--png", str(png)]
+    )
+    assert rc == 0
+    parts = np.loadtxt(labels)
+    assert set(np.unique(parts)) == {0.0, 1.0, 2.0, 3.0}
+    from repro.drawing import read_png
+
+    assert read_png(png).shape[2] == 3
+
+
+def test_partition_refine(capsys):
+    rc = main(["partition", "ecology", "--scale", "tiny", "--refine"])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "FM: cut" in err
+
+
+def test_partition_refine_requires_k2():
+    with pytest.raises(SystemExit):
+        main(["partition", "ecology", "--scale", "tiny", "-k", "3", "--refine"])
+
+
+def test_zoom_command(tmp_path, capsys):
+    png = tmp_path / "zoom.png"
+    rc = main(
+        ["zoom", "barth", "--scale", "tiny", "--center", "5",
+         "--hops", "6", "--png", str(png)]
+    )
+    assert rc == 0
+    assert "within 6 hops of 5" in capsys.readouterr().err
+    from repro.drawing import read_png
+
+    assert read_png(png).shape[2] == 3
+
+
+def test_zoom_coords_stdout(capsys):
+    rc = main(["zoom", "ecology", "--scale", "tiny", "--hops", "4", "-s", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) > 5
+
+
+def test_cluster_spectral(tmp_path, capsys):
+    out = tmp_path / "labels.txt"
+    rc = main(
+        ["cluster", "ecology", "--scale", "tiny", "-k", "3",
+         "--out", str(out)]
+    )
+    assert rc == 0
+    labels = np.loadtxt(out)
+    assert set(np.unique(labels)) == {0.0, 1.0, 2.0}
+
+
+def test_cluster_labelprop(capsys):
+    rc = main(["cluster", "barth", "--scale", "tiny", "--method", "labelprop"])
+    assert rc == 0
+    assert "label propagation" in capsys.readouterr().err
+
+
+def test_cluster_png(tmp_path):
+    png = tmp_path / "c.png"
+    rc = main(
+        ["cluster", "ecology", "--scale", "tiny", "-k", "2", "--png", str(png)]
+    )
+    assert rc == 0
+    from repro.drawing import read_png
+
+    assert read_png(png).shape[2] == 3
+
+
+def test_export_html(tmp_path, capsys):
+    out = tmp_path / "view.html"
+    rc = main(["export-html", "barth", "--scale", "tiny", "-s", "6", str(out)])
+    assert rc == 0
+    text = out.read_text()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "addEventListener" in text
+
+
+def test_reproduce_list(capsys):
+    rc = main(["reproduce", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "table3_prior" in out
+    assert "fig4_scaling" in out
+
+
+def test_reproduce_runs_one(capsys):
+    import os
+
+    rc = main(["reproduce", "table2", "--scale", "tiny"])
+    assert rc == 0
+    os.environ.pop("REPRO_BENCH_SCALE", None)
+
+
+def test_reproduce_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["reproduce", "nonexistent_experiment_xyz"])

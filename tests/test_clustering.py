@@ -1,0 +1,151 @@
+"""Tests for the SBM generator, label propagation, and weighted-HDE
+weight-interpretation semantics."""
+
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.graph import (
+    grid2d,
+    is_connected,
+    planted_partition,
+    preprocess,
+    random_integer_weights,
+)
+from repro.partition import label_propagation
+
+
+def _ground_truth(n: int, k: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64) * k // n
+
+
+class TestPlantedPartition:
+    def test_structure(self):
+        g = planted_partition(800, 4, degree_in=14, degree_out=1, seed=0)
+        g.validate()
+        assert g.n == 800
+        # Density near the expected (din + dout) / 2 per vertex.
+        assert 5 < g.average_degree < 20
+
+    def test_assortativity(self):
+        g = planted_partition(600, 3, degree_in=12, degree_out=1, seed=1)
+        truth = _ground_truth(600, 3)
+        u, v = g.edge_list()
+        internal = (truth[u] == truth[v]).mean()
+        assert internal > 0.8  # most edges stay inside a block
+
+    def test_deterministic(self):
+        a = planted_partition(300, 3, seed=5)
+        b = planted_partition(300, 3, seed=5)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_partition(10, 0)
+        with pytest.raises(ValueError):
+            planted_partition(10, 20)
+        with pytest.raises(ValueError):
+            planted_partition(10, 2, degree_in=-1)
+
+
+class TestLabelPropagation:
+    def test_recovers_clear_communities(self):
+        g = preprocess(
+            planted_partition(600, 4, degree_in=16, degree_out=0.5, seed=0)
+        )
+        res = label_propagation(g, seed=0)
+        assert res.converged
+        assert 3 <= res.communities <= 6
+
+    def test_labels_dense(self):
+        g = preprocess(planted_partition(300, 3, degree_in=14, degree_out=0.5))
+        res = label_propagation(g, seed=1)
+        assert set(np.unique(res.labels)) == set(range(res.communities))
+
+    def test_clique_single_community(self):
+        from repro.graph import complete_graph
+
+        res = label_propagation(complete_graph(12), seed=0)
+        assert res.communities == 1
+        assert res.converged
+
+    def test_disconnected_components_separate(self):
+        from repro.graph import from_edges
+
+        # Two triangles.
+        g = from_edges(6, [0, 1, 2, 3, 4, 5], [1, 2, 0, 4, 5, 3])
+        res = label_propagation(g, seed=0)
+        assert res.communities == 2
+        assert len(set(res.labels[:3])) == 1
+        assert len(set(res.labels[3:])) == 1
+
+    def test_weighted_ties_broken_by_weight(self):
+        from repro.graph import from_edges
+
+        # Vertex 1 sits between two pairs; the heavy side must win.
+        g = from_edges(
+            4, [0, 1, 2], [1, 2, 3], weights=[10.0, 1.0, 10.0]
+        )
+        res = label_propagation(g, seed=0)
+        assert res.labels[0] == res.labels[1]
+        assert res.labels[2] == res.labels[3]
+        assert res.labels[0] != res.labels[2]
+
+    def test_validation(self, small_grid):
+        with pytest.raises(ValueError):
+            label_propagation(small_grid, max_sweeps=0)
+
+
+class TestWeightInterpretation:
+    @pytest.fixture()
+    def weighted_mesh(self, tiny_mesh):
+        return random_integer_weights(tiny_mesh, 1, 16, seed=0)
+
+    def test_both_modes_run(self, weighted_mesh):
+        a = parhde(weighted_mesh, s=8, seed=0, weighted=True)
+        b = parhde(
+            weighted_mesh, s=8, seed=0, weighted=True,
+            weight_interpretation="similarity",
+        )
+        assert np.all(np.isfinite(a.coords))
+        assert np.all(np.isfinite(b.coords))
+        assert not np.allclose(a.coords, b.coords)
+
+    def test_similarity_inverts_traversal_lengths(self, weighted_mesh):
+        """Heavy (similar) edges are short paths under 'similarity'."""
+        res = parhde(
+            weighted_mesh, s=4, seed=0, weighted=True,
+            weight_interpretation="similarity",
+        )
+        # Distances from the first pivot must match SSSP on inverted
+        # weights.
+        from repro.sssp import dijkstra
+
+        g_inv = weighted_mesh.with_weights(
+            weighted_mesh.weights.max() / weighted_mesh.weights
+        )
+        ref = dijkstra(g_inv, int(res.pivots[0]))
+        np.testing.assert_allclose(res.B[:, 0], ref)
+
+    def test_d_matrix_uses_original_similarities(self, weighted_mesh):
+        res = parhde(
+            weighted_mesh, s=8, seed=0, weighted=True,
+            weight_interpretation="similarity",
+        )
+        d = weighted_mesh.weighted_degrees  # similarity degrees
+        G = res.S.T @ (d[:, None] * res.S)
+        np.testing.assert_allclose(G, np.eye(res.S.shape[1]), atol=1e-8)
+
+    def test_bad_interpretation(self, weighted_mesh):
+        with pytest.raises(ValueError, match="interpretation"):
+            parhde(
+                weighted_mesh, s=4, weighted=True,
+                weight_interpretation="frequency",
+            )
+
+    def test_params_echo(self, weighted_mesh):
+        res = parhde(
+            weighted_mesh, s=4, seed=0, weighted=True,
+            weight_interpretation="similarity",
+        )
+        assert res.params["weight_interpretation"] == "similarity"

@@ -1,0 +1,62 @@
+"""Tests for connected component labeling."""
+
+import numpy as np
+
+from repro.graph import (
+    component_sizes,
+    connected_components,
+    from_edges,
+    is_connected,
+    largest_component_mask,
+    path_graph,
+)
+
+
+def test_single_component(small_grid):
+    comp = connected_components(small_grid)
+    assert comp.max() == 0
+    assert is_connected(small_grid)
+
+
+def test_multiple_components():
+    g = from_edges(7, [0, 1, 3, 5], [1, 2, 4, 6])
+    comp = connected_components(g)
+    assert comp.max() == 2
+    assert comp[0] == comp[1] == comp[2]
+    assert comp[3] == comp[4]
+    assert comp[5] == comp[6]
+    assert len({comp[0], comp[3], comp[5]}) == 3
+
+
+def test_isolated_vertices_are_components():
+    g = from_edges(4, [0], [1])
+    comp = connected_components(g)
+    assert comp.max() == 2
+    np.testing.assert_array_equal(
+        component_sizes(g), [2, 1, 1]
+    )
+
+
+def test_component_sizes_sorted_descending():
+    g = from_edges(9, [0, 1, 2, 4, 6], [1, 2, 3, 5, 7])
+    sizes = component_sizes(g)
+    np.testing.assert_array_equal(sizes, [4, 2, 2, 1])
+
+
+def test_largest_component_mask():
+    g = from_edges(6, [0, 1, 4], [1, 2, 5])
+    mask = largest_component_mask(g)
+    np.testing.assert_array_equal(mask, [True, True, True, False, False, False])
+
+
+def test_empty_graph_not_connected():
+    assert not is_connected(from_edges(0, [], []))
+
+
+def test_single_vertex_connected():
+    assert is_connected(from_edges(1, [], []))
+
+
+def test_path_is_connected(path10):
+    assert is_connected(path10)
+    assert component_sizes(path10)[0] == 10

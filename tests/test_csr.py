@@ -1,0 +1,190 @@
+"""Unit tests for the CSR graph type and edge-list construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, from_edges
+
+
+class TestFromEdges:
+    def test_simple_triangle(self):
+        g = from_edges(3, [0, 1, 2], [1, 2, 0])
+        assert g.n == 3
+        assert g.m == 3
+        assert g.nnz == 6
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+        np.testing.assert_array_equal(g.neighbors(1), [0, 2])
+        np.testing.assert_array_equal(g.neighbors(2), [0, 1])
+
+    def test_self_loops_removed(self):
+        g = from_edges(3, [0, 1, 1], [0, 1, 2])
+        assert g.m == 1
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 0)
+
+    def test_parallel_edges_merged(self):
+        g = from_edges(4, [0, 1, 0, 3], [1, 0, 1, 2])
+        assert g.m == 2
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+
+    def test_parallel_weighted_edges_keep_max(self):
+        g = from_edges(2, [0, 1, 0], [1, 0, 1], weights=[1.0, 5.0, 3.0])
+        assert g.m == 1
+        assert g.edge_weights_of(0)[0] == 5.0
+        assert g.edge_weights_of(1)[0] == 5.0
+
+    def test_direction_ignored(self):
+        g1 = from_edges(3, [0, 1], [1, 2])
+        g2 = from_edges(3, [1, 2], [0, 1])
+        np.testing.assert_array_equal(g1.indptr, g2.indptr)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_empty_graph(self):
+        g = from_edges(5, [], [])
+        assert g.n == 5
+        assert g.m == 0
+        g.validate()
+
+    def test_zero_vertices(self):
+        g = from_edges(0, [], [])
+        assert g.n == 0
+        g.validate()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(3, [0], [3])
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(3, [-1], [0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            from_edges(3, [0, 1], [1])
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            from_edges(2, [0], [1], weights=[0.0])
+        with pytest.raises(ValueError, match="positive"):
+            from_edges(2, [0], [1], weights=[-1.0])
+
+
+class TestAccessors:
+    def test_degrees(self, small_grid):
+        deg = small_grid.degrees
+        # Grid corners have degree 2, edges 3, interior 4.
+        assert deg.min() == 2
+        assert deg.max() == 4
+        assert deg.sum() == small_grid.nnz
+
+    def test_weighted_degrees_unweighted(self, small_grid):
+        np.testing.assert_allclose(
+            small_grid.weighted_degrees, small_grid.degrees.astype(float)
+        )
+
+    def test_weighted_degrees_weighted(self):
+        g = from_edges(3, [0, 1], [1, 2], weights=[2.0, 3.0])
+        np.testing.assert_allclose(g.weighted_degrees, [2.0, 5.0, 3.0])
+
+    def test_edge_list_each_edge_once(self, small_grid):
+        u, v = small_grid.edge_list()
+        assert len(u) == small_grid.m
+        assert np.all(u < v)
+
+    def test_has_edge(self):
+        g = from_edges(4, [0, 1], [1, 3])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(3, 1)
+        assert not g.has_edge(0, 3)
+        assert not g.has_edge(2, 0)
+
+    def test_average_degree(self):
+        g = from_edges(4, [0, 1, 2], [1, 2, 3])
+        assert g.average_degree == pytest.approx(6 / 4)
+
+    def test_with_weights_roundtrip(self, small_grid):
+        w = np.ones(small_grid.nnz) * 2.5
+        gw = small_grid.with_weights(w)
+        assert gw.is_weighted
+        gw.validate()
+        assert not gw.unweighted().is_weighted
+
+    def test_with_weights_validation(self, small_grid):
+        with pytest.raises(ValueError, match="length"):
+            small_grid.with_weights(np.ones(3))
+        with pytest.raises(ValueError, match="positive"):
+            small_grid.with_weights(np.zeros(small_grid.nnz))
+
+
+class TestValidate:
+    def test_accepts_valid(self, small_grid, small_random, tiny_mesh):
+        small_grid.validate()
+        small_random.validate()
+        tiny_mesh.validate()
+
+    def test_rejects_self_loop(self):
+        g = CSRGraph(
+            np.array([0, 1, 2]), np.array([0, 1], dtype=np.int32)
+        )
+        with pytest.raises(ValueError, match="self loop"):
+            g.validate()
+
+    def test_rejects_asymmetry(self):
+        g = CSRGraph(
+            np.array([0, 1, 1]), np.array([1], dtype=np.int32)
+        )
+        with pytest.raises(ValueError, match="symmetric"):
+            g.validate()
+
+    def test_rejects_unsorted_rows(self):
+        g = CSRGraph(
+            np.array([0, 2, 3, 4]),
+            np.array([2, 1, 0, 0], dtype=np.int32),
+        )
+        with pytest.raises(ValueError, match="increasing"):
+            g.validate()
+
+    def test_rejects_bad_indptr(self):
+        g = CSRGraph(np.array([1, 2]), np.array([0], dtype=np.int32))
+        with pytest.raises(ValueError, match="start at 0"):
+            g.validate()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    edges=st.lists(
+        st.tuples(st.integers(0, 39), st.integers(0, 39)),
+        max_size=120,
+    ),
+    seed=st.integers(0, 10),
+)
+def test_from_edges_always_valid(n, edges, seed):
+    """Property: any in-range edge soup produces a valid simple graph."""
+    edges = [(u % n, v % n) for u, v in edges]
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    g = from_edges(n, u, v)
+    g.validate()
+    # Every non-loop input edge must be present.
+    for a, b in edges:
+        if a != b:
+            assert g.has_edge(a, b)
+    # Edge count is bounded by distinct non-loop pairs.
+    distinct = {(min(a, b), max(a, b)) for a, b in edges if a != b}
+    assert g.m == len(distinct)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    seed=st.integers(0, 1000),
+)
+def test_weighted_symmetry_property(n, seed):
+    rng = np.random.default_rng(seed)
+    k = n * 2
+    u = rng.integers(0, n, size=k)
+    v = rng.integers(0, n, size=k)
+    w = rng.random(k) + 0.1
+    g = from_edges(n, u, v, weights=w)
+    g.validate()  # includes weight symmetry check

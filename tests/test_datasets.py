@@ -1,0 +1,84 @@
+"""Tests for the scaled Table 2 evaluation collection."""
+
+import pytest
+
+from repro import datasets
+from repro.graph import is_connected, miss_rate
+
+
+def test_available_names():
+    names = datasets.available()
+    assert set(datasets.LARGE_FIVE) <= set(names)
+    assert set(datasets.SMALL_FIVE) <= set(names)
+    assert "barth" in names
+
+
+@pytest.mark.parametrize("name", datasets.available())
+def test_load_tiny_all(name):
+    g = datasets.load(name, scale="tiny")
+    g.validate()
+    assert is_connected(g)
+    assert g.n >= 50
+    assert datasets.PAPER_NAMES[name] in g.name
+
+
+def test_load_by_paper_name():
+    g = datasets.load("road_usa", scale="tiny")
+    assert "road_usa" in g.name
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError, match="unknown graph"):
+        datasets.load("nope")
+
+
+def test_unknown_scale():
+    with pytest.raises(ValueError, match="scale"):
+        datasets.load("urand", scale="huge")
+
+
+def test_scales_increase():
+    tiny = datasets.load("ecology", "tiny")
+    small = datasets.load("ecology", "small")
+    assert small.n > tiny.n
+
+
+def test_deterministic():
+    import numpy as np
+
+    a = datasets.load("kron", "tiny", seed=1)
+    b = datasets.load("kron", "tiny", seed=1)
+    np.testing.assert_array_equal(a.indices, b.indices)
+
+
+def test_structural_characters():
+    """The properties the evaluation depends on (DESIGN.md section 2)."""
+    road = datasets.load("road", "small")
+    urand = datasets.load("urand", "small")
+    web = datasets.load("web", "small")
+    kron = datasets.load("kron", "small")
+    # road: sparse and high-diameter; urand: dense-ish, no locality.
+    assert road.average_degree < 4 < urand.average_degree
+    # locality ordering: web much friendlier than urand/kron.
+    assert miss_rate(web) < 0.5 * miss_rate(urand)
+    assert miss_rate(kron) > 0.5
+    # kron: skewed degrees.
+    assert kron.degrees.max() > 10 * kron.average_degree
+
+
+def test_collection_table_and_format():
+    rows = datasets.collection_table("tiny", names=("ecology", "road"))
+    assert len(rows) == 2
+    assert rows[0][0] == "ecology1"
+    text = datasets.format_table2(rows)
+    assert "Graph" in text and "ecology1" in text
+
+
+def test_edge_count_ordering_mirrors_paper():
+    """Table 2: urand > kron > web > twitter >> road by edge count."""
+    ms = {
+        name: datasets.load(name, "small").m
+        for name in datasets.LARGE_FIVE
+    }
+    assert ms["urand"] > ms["kron"] > ms["road"]
+    assert ms["web"] > ms["road"] and ms["twitter"] > ms["road"]

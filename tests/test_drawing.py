@@ -1,0 +1,185 @@
+"""Tests for the drawing substrate: PNG codec, rasterizer, renderer."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.drawing import (
+    Canvas,
+    PALETTE,
+    category_colors,
+    fit_to_canvas,
+    partition_edge_colors,
+    read_png,
+    render_layout,
+    save_drawing,
+    write_png,
+)
+
+
+class TestPNG:
+    def test_roundtrip(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(13, 17, 3)).astype(np.uint8)
+        p = tmp_path / "x.png"
+        write_png(p, img)
+        np.testing.assert_array_equal(read_png(p), img)
+
+    def test_magic_bytes(self, tmp_path):
+        img = np.zeros((2, 2, 3), dtype=np.uint8)
+        p = tmp_path / "x.png"
+        write_png(p, img)
+        assert p.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+    def test_one_pixel(self, tmp_path):
+        img = np.array([[[255, 0, 128]]], dtype=np.uint8)
+        p = tmp_path / "x.png"
+        write_png(p, img)
+        np.testing.assert_array_equal(read_png(p), img)
+
+    def test_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_png(tmp_path / "x.png", np.zeros((3, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            write_png(tmp_path / "x.png", np.zeros((3, 3, 3), dtype=np.float64))
+
+    def test_reader_rejects_garbage(self, tmp_path):
+        p = tmp_path / "x.png"
+        p.write_bytes(b"not a png at all")
+        with pytest.raises(ValueError, match="not a PNG"):
+            read_png(p)
+
+    def test_reader_detects_corruption(self, tmp_path):
+        img = np.zeros((4, 4, 3), dtype=np.uint8)
+        p = tmp_path / "x.png"
+        write_png(p, img)
+        data = bytearray(p.read_bytes())
+        data[30] ^= 0xFF  # flip a bit inside IHDR payload
+        p.write_bytes(bytes(data))
+        with pytest.raises(ValueError):
+            read_png(p)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        h=st.integers(1, 12),
+        w=st.integers(1, 12),
+        seed=st.integers(0, 100),
+    )
+    def test_roundtrip_property(self, tmp_path, h, w, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.integers(0, 256, size=(h, w, 3)).astype(np.uint8)
+        p = tmp_path / f"p{h}x{w}.png"
+        write_png(p, img)
+        np.testing.assert_array_equal(read_png(p), img)
+
+
+class TestCanvas:
+    def test_background(self):
+        c = Canvas(5, 4, background=(10, 20, 30))
+        assert c.pixels.shape == (4, 5, 3)
+        assert np.all(c.pixels == [10, 20, 30])
+
+    def test_line_endpoints_drawn(self):
+        c = Canvas(20, 20)
+        c.draw_lines([2.0], [3.0], [15.0], [17.0], (0, 0, 0))
+        assert tuple(c.pixels[3, 2]) == (0, 0, 0)
+        assert tuple(c.pixels[17, 15]) == (0, 0, 0)
+
+    def test_horizontal_line_contiguous(self):
+        c = Canvas(10, 3)
+        c.draw_lines([0.0], [1.0], [9.0], [1.0], (0, 0, 0))
+        assert np.all(c.pixels[1, :, 0] == 0)
+
+    def test_clipping_out_of_bounds(self):
+        c = Canvas(10, 10)
+        c.draw_lines([-5.0], [-5.0], [20.0], [20.0], (0, 0, 0))  # no crash
+        assert c.ink_fraction() > 0
+
+    def test_per_edge_colors(self):
+        c = Canvas(10, 10)
+        colors = np.array([[255, 0, 0], [0, 255, 0]], dtype=np.uint8)
+        c.draw_lines([0.0, 0.0], [0.0, 9.0], [9.0, 9.0], [0.0, 9.0], colors)
+        assert tuple(c.pixels[0, 5]) == (255, 0, 0)
+        assert tuple(c.pixels[9, 5]) == (0, 255, 0)
+
+    def test_color_shape_validation(self):
+        c = Canvas(5, 5)
+        with pytest.raises(ValueError):
+            c.draw_lines([0.0], [0.0], [1.0], [1.0], np.zeros((3, 3), np.uint8))
+
+    def test_points_radius(self):
+        c = Canvas(9, 9)
+        c.draw_points([4.0], [4.0], (0, 0, 0), radius=1)
+        assert np.all(c.pixels[3:6, 3:6] == 0)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Canvas(0, 5)
+
+
+class TestRender:
+    def test_fit_preserves_aspect(self, rng):
+        coords = rng.random((50, 2)) * [10.0, 1.0]
+        px, py = fit_to_canvas(coords, 200, 200, 10)
+        assert px.max() <= 190 and px.min() >= 10
+        span_ratio = (px.max() - px.min()) / (py.max() - py.min())
+        assert span_ratio == pytest.approx(10.0, rel=0.05)
+
+    def test_fit_degenerate_layout(self):
+        coords = np.zeros((4, 2))
+        px, py = fit_to_canvas(coords, 100, 100, 10)
+        assert np.all(np.isfinite(px)) and np.all(np.isfinite(py))
+
+    def test_fit_margin_validation(self, rng):
+        with pytest.raises(ValueError):
+            fit_to_canvas(rng.random((4, 2)), 20, 20, 10)
+
+    def test_render_mesh_has_ink(self, tiny_mesh, rng):
+        coords = rng.random((tiny_mesh.n, 2))
+        canvas = render_layout(tiny_mesh, coords, width=120, height=120)
+        assert 0.01 < canvas.ink_fraction() < 0.99
+
+    def test_render_max_edges_subsample(self, tiny_mesh, rng):
+        coords = rng.random((tiny_mesh.n, 2))
+        full = render_layout(tiny_mesh, coords, width=100, height=100)
+        sub = render_layout(
+            tiny_mesh, coords, width=100, height=100, max_edges=50
+        )
+        assert sub.ink_fraction() < full.ink_fraction()
+
+    def test_save_drawing(self, tiny_mesh, rng, tmp_path):
+        coords = rng.random((tiny_mesh.n, 2))
+        p = tmp_path / "mesh.png"
+        save_drawing(tiny_mesh, coords, p, width=80, height=80)
+        img = read_png(p)
+        assert img.shape == (80, 80, 3)
+
+    def test_render_shape_validation(self, tiny_mesh):
+        with pytest.raises(ValueError):
+            render_layout(tiny_mesh, np.zeros((3, 2)))
+
+
+class TestColors:
+    def test_category_colors_cycle(self):
+        labels = np.arange(2 * len(PALETTE))
+        colors = category_colors(labels)
+        np.testing.assert_array_equal(colors[: len(PALETTE)], colors[len(PALETTE) :])
+
+    def test_category_rejects_negative(self):
+        with pytest.raises(ValueError):
+            category_colors(np.array([-1]))
+
+    def test_partition_edge_colors(self):
+        u = np.array([0, 1, 2])
+        v = np.array([1, 2, 3])
+        parts = np.array([0, 0, 1, 1])
+        colors = partition_edge_colors(u, v, parts)
+        # Edge (1,2) crosses the cut.
+        np.testing.assert_array_equal(colors[1], [213, 94, 0])
+        # Internal edges get their partition color.
+        np.testing.assert_array_equal(colors[0], PALETTE[0])
+        np.testing.assert_array_equal(colors[2], PALETTE[1])

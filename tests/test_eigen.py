@@ -1,0 +1,141 @@
+"""Tests for the Jacobi eigensolver and the power iteration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import cycle_graph, grid2d
+from repro.linalg import (
+    extreme_eigenpairs,
+    jacobi_eigh,
+    power_iteration,
+    walk_spmm,
+)
+
+
+class TestJacobi:
+    def test_diagonal_matrix(self):
+        evals, evecs = jacobi_eigh(np.diag([3.0, 1.0, 2.0]))
+        np.testing.assert_allclose(evals, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(np.abs(evecs), np.eye(3)[:, [1, 2, 0]])
+
+    def test_1x1(self):
+        evals, evecs = jacobi_eigh(np.array([[4.0]]))
+        assert evals[0] == 4.0
+
+    def test_matches_numpy(self, rng):
+        M = rng.standard_normal((12, 12))
+        M = (M + M.T) / 2
+        evals, evecs = jacobi_eigh(M)
+        ref = np.linalg.eigvalsh(M)
+        np.testing.assert_allclose(evals, ref, atol=1e-9)
+        # Each column is an eigenvector: ||Mv - lambda v|| small.
+        for k in range(12):
+            np.testing.assert_allclose(
+                M @ evecs[:, k], evals[k] * evecs[:, k], atol=1e-6
+            )
+
+    def test_orthonormal_eigenvectors(self, rng):
+        M = rng.standard_normal((8, 8))
+        M = M + M.T
+        _, V = jacobi_eigh(M)
+        np.testing.assert_allclose(V.T @ V, np.eye(8), atol=1e-9)
+
+    def test_rejects_nonsymmetric(self, rng):
+        with pytest.raises(ValueError, match="symmetric"):
+            jacobi_eigh(rng.standard_normal((4, 4)) + 10 * np.eye(4) + np.triu(np.ones((4, 4)), 1))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            jacobi_eigh(np.ones((2, 3)))
+
+    def test_extreme_eigenpairs(self, rng):
+        M = rng.standard_normal((9, 9))
+        M = M + M.T
+        ref = np.linalg.eigvalsh(M)
+        small, _ = extreme_eigenpairs(M, 2, "smallest")
+        large, _ = extreme_eigenpairs(M, 2, "largest")
+        np.testing.assert_allclose(small, ref[:2], atol=1e-9)
+        np.testing.assert_allclose(large, ref[::-1][:2], atol=1e-9)
+
+    def test_extreme_validation(self):
+        M = np.eye(3)
+        with pytest.raises(ValueError):
+            extreme_eigenpairs(M, 0)
+        with pytest.raises(ValueError):
+            extreme_eigenpairs(M, 5)
+        with pytest.raises(ValueError):
+            extreme_eigenpairs(M, 1, "middle")
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 15), seed=st.integers(0, 9999))
+def test_jacobi_property(n, seed):
+    rng = np.random.default_rng(seed)
+    M = rng.standard_normal((n, n))
+    M = (M + M.T) / 2
+    evals, V = jacobi_eigh(M)
+    np.testing.assert_allclose(evals, np.linalg.eigvalsh(M), atol=1e-7)
+    np.testing.assert_allclose(V @ np.diag(evals) @ V.T, M, atol=1e-6)
+
+
+class TestPowerIteration:
+    def test_cycle_graph_eigenvalues(self):
+        # Walk-matrix eigenvalues of C_n are cos(2 pi k / n).
+        g = cycle_graph(12)
+        res = power_iteration(g, 2, tol=1e-12, seed=0)
+        expected = np.cos(2 * np.pi / 12)
+        np.testing.assert_allclose(res.eigenvalues, expected, atol=1e-6)
+
+    def test_matches_dense_eigensolver(self, small_grid):
+        g = small_grid
+        res = power_iteration(g, 2, tol=1e-11, max_iter=50_000, seed=1)
+        # Dense reference: generalized problem L u = mu D u via D^{-1}A.
+        A = np.zeros((g.n, g.n))
+        for v in range(g.n):
+            A[v, g.neighbors(v)] = 1.0
+        W = A / A.sum(axis=1, keepdims=True)
+        ref = np.sort(np.linalg.eigvals(W).real)[::-1]
+        np.testing.assert_allclose(
+            np.sort(res.eigenvalues)[::-1], ref[1:3], atol=1e-5
+        )
+
+    def test_d_orthonormal_output(self, small_random):
+        res = power_iteration(small_random, 2, tol=1e-9, seed=0)
+        d = small_random.weighted_degrees
+        G = res.vectors.T @ (d[:, None] * res.vectors)
+        np.testing.assert_allclose(G, np.eye(2), atol=1e-6)
+        np.testing.assert_allclose(res.vectors.T @ d, 0.0, atol=1e-6)
+
+    def test_residual_is_eigen_residual(self, small_grid):
+        res = power_iteration(small_grid, 1, tol=1e-12, max_iter=50_000, seed=0)
+        x = res.vectors[:, 0]
+        lam = res.eigenvalues[0]
+        r = walk_spmm(small_grid, x) - lam * x
+        assert np.abs(r).max() < 1e-4
+
+    def test_warm_start_converges_faster(self):
+        # Dumbbell: two cliques joined by an edge — a well separated
+        # spectral gap, so convergence speed reflects the start vector.
+        import numpy as np
+
+        from repro.graph import from_edges
+
+        k = 10
+        u1, v1 = np.triu_indices(k, 1)
+        edges_u = np.concatenate([u1, u1 + k, [0]])
+        edges_v = np.concatenate([v1, v1 + k, [k]])
+        g = from_edges(2 * k, edges_u, edges_v)
+        cold = power_iteration(g, 2, tol=1e-10, max_iter=5000, seed=3)
+        warm = power_iteration(
+            g, 2, tol=1e-10, max_iter=5000, seed=3, x0=cold.vectors.copy()
+        )
+        # Restarting from the converged answer must be near-instant.
+        assert warm.total_iterations < max(10, cold.total_iterations / 3)
+
+    def test_invalid_args(self, small_grid):
+        with pytest.raises(ValueError):
+            power_iteration(small_grid, 0)
+        with pytest.raises(ValueError):
+            power_iteration(small_grid, 2, x0=np.ones((3, 2)))

@@ -1,0 +1,79 @@
+"""Tests for the Fruchterman-Reingold baseline."""
+
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.baselines import fruchterman_reingold
+from repro.graph import cycle_graph, grid2d
+from repro.metrics import sampled_stress
+from repro.parallel import BRIDGES_RSM, Ledger, simulate_ledger
+
+
+def test_shapes_and_determinism(small_grid):
+    a = fruchterman_reingold(small_grid, iterations=20, seed=3)
+    b = fruchterman_reingold(small_grid, iterations=20, seed=3)
+    assert a.coords.shape == (small_grid.n, 2)
+    np.testing.assert_array_equal(a.coords, b.coords)
+    assert np.all(np.isfinite(a.coords))
+
+
+def test_improves_over_random(small_grid):
+    res = fruchterman_reingold(small_grid, iterations=150, seed=0)
+    rng = np.random.default_rng(0)
+    rand = rng.random((small_grid.n, 2))
+    assert sampled_stress(small_grid, res.coords, seed=1) < sampled_stress(
+        small_grid, rand, seed=1
+    )
+
+
+def test_cycle_untangles():
+    g = cycle_graph(30)
+    res = fruchterman_reingold(g, iterations=300, seed=1)
+    # Edge lengths become fairly uniform when the ring relaxes.
+    u, v = g.edge_list()
+    lengths = np.sqrt(((res.coords[u] - res.coords[v]) ** 2).sum(axis=1))
+    assert lengths.std() / lengths.mean() < 0.6
+
+
+def test_warm_start_from_parhde(tiny_mesh):
+    hde = parhde(tiny_mesh, s=10, seed=0)
+    res = fruchterman_reingold(
+        tiny_mesh, iterations=30, seed=0, coords0=hde.coords
+    )
+    # A good start survives a short FR polish.
+    assert sampled_stress(tiny_mesh, res.coords, seed=2) < 2 * sampled_stress(
+        tiny_mesh, hde.coords, seed=2
+    )
+
+
+def test_cost_recorded_scales_with_iterations(small_grid):
+    def cost_of(iters):
+        led = Ledger()
+        with led.phase("FR"):
+            fruchterman_reingold(small_grid, iterations=iters, seed=0, ledger=led)
+        return simulate_ledger(led, BRIDGES_RSM, 28)
+
+    t10, t50 = cost_of(10), cost_of(50)
+    assert t10 > 0
+    assert t50 > 4 * t10  # linear in the iteration count
+    # The full cross-algorithm comparison (the section 4.2 order-of-
+    # magnitude claim) lives in benchmarks/bench_force_directed.py.
+
+
+def test_zero_iterations_keeps_start(small_grid):
+    rng = np.random.default_rng(0)
+    start = rng.random((small_grid.n, 2)) * 5
+    res = fruchterman_reingold(small_grid, iterations=0, coords0=start)
+    assert res.iterations == 0
+    # Rescaled into the canonical box, but the shape is preserved.
+    assert res.coords.shape == start.shape
+
+
+def test_validation(small_grid):
+    with pytest.raises(ValueError):
+        fruchterman_reingold(small_grid, iterations=-1)
+    with pytest.raises(ValueError):
+        fruchterman_reingold(small_grid, repulsion_samples=0)
+    with pytest.raises(ValueError):
+        fruchterman_reingold(small_grid, coords0=np.ones((2, 2)))

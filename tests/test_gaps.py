@@ -1,0 +1,97 @@
+"""Tests for adjacency-gap analysis and the locality model (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    adjacency_gaps,
+    banded,
+    fibonacci_edges,
+    fibonacci_histogram,
+    from_edges,
+    grid2d,
+    miss_rate,
+    path_graph,
+    preprocess,
+    shuffle_vertices,
+    uniform_random,
+)
+
+
+class TestAdjacencyGaps:
+    def test_count_matches_paper_formula(self, small_grid):
+        # sum of counts = 2m - n for graphs without isolated/deg-0 vertices
+        gaps = adjacency_gaps(small_grid)
+        assert len(gaps) == small_grid.nnz - small_grid.n
+
+    def test_path_graph_gap_two(self):
+        # The paper's ideal example: a linear chain has gap 2, n-2 times.
+        g = path_graph(50)
+        gaps = adjacency_gaps(g)
+        assert len(gaps) == 48
+        assert np.all(gaps == 2)
+
+    def test_gaps_positive(self, small_random):
+        gaps = adjacency_gaps(small_random)
+        assert np.all(gaps > 0)
+
+    def test_isolated_vertices_skipped(self):
+        g = from_edges(6, [1, 1], [3, 5])  # vertices 0,2,4 isolated
+        gaps = adjacency_gaps(g)
+        assert len(gaps) == 1  # only row 1 has 2 neighbors: gap 5-3
+        assert gaps[0] == 2
+
+    def test_empty(self):
+        assert len(adjacency_gaps(from_edges(3, [], []))) == 0
+
+
+class TestFibonacciBinning:
+    def test_edges_are_fibonacci(self):
+        edges = fibonacci_edges(100)
+        assert edges.tolist()[:8] == [0, 1, 2, 3, 5, 8, 13, 21]
+        assert edges[-1] > 100
+
+    def test_histogram_total(self, small_random):
+        hist = fibonacci_histogram(small_random)
+        assert hist.total == len(adjacency_gaps(small_random))
+
+    def test_series_and_format(self, small_grid):
+        hist = fibonacci_histogram(small_grid)
+        series = hist.series()
+        assert all(c > 0 for _, c in series)
+        assert sum(c for _, c in series) == hist.total
+        assert "count" in hist.format()
+
+    def test_grid_concentrated_in_two_bins(self):
+        g = grid2d(20, 30)
+        hist = fibonacci_histogram(g)
+        # Gaps are mostly {1..2*cols}; only a few distinct values exist.
+        assert len(hist.series()) <= 6
+
+
+class TestMissRate:
+    def test_bounds(self, small_grid, small_random):
+        for g in (small_grid, small_random):
+            assert 0.0 <= miss_rate(g) <= 1.0
+
+    def test_ordering_banded_vs_random(self):
+        local = banded(2000, offsets=(1, 2, 3))
+        rand = preprocess(uniform_random(11, degree=8, seed=0))
+        assert miss_rate(local) < 0.2
+        assert miss_rate(rand) > 0.5
+        assert miss_rate(local) < miss_rate(rand)
+
+    def test_shuffle_destroys_locality(self):
+        g = grid2d(40, 40)
+        gs = shuffle_vertices(g, seed=1)
+        assert miss_rate(gs) > 3 * miss_rate(g)
+
+    def test_empty_graph(self):
+        assert miss_rate(from_edges(3, [], [])) == 0.0
+
+    def test_explicit_llc_window(self):
+        g = grid2d(30, 30)
+        # A window covering the whole vertex range -> everything mid/near.
+        generous = miss_rate(g, llc_bytes=8.0 * g.n * 8)
+        tight = miss_rate(g, llc_bytes=8.0)
+        assert generous <= tight

@@ -1,0 +1,185 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    banded,
+    binary_tree,
+    complete_graph,
+    copying_powerlaw,
+    cycle_graph,
+    grid2d,
+    is_connected,
+    kronecker,
+    mesh_with_holes,
+    path_graph,
+    preprocess,
+    random_geometric,
+    road_network,
+    star_graph,
+    uniform_random,
+    watts_strogatz,
+    webgraph,
+)
+
+
+class TestUniformRandom:
+    def test_size_and_density(self):
+        g = uniform_random(10, degree=8, seed=0)
+        assert g.n == 1024
+        # Some duplicate collapse, but density should be near 8n.
+        assert 0.8 * 8 * 1024 < g.m <= 8 * 1024
+
+    def test_deterministic(self):
+        a = uniform_random(8, seed=5)
+        b = uniform_random(8, seed=5)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_seed_changes_output(self):
+        a = uniform_random(8, seed=1)
+        b = uniform_random(8, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_valid(self):
+        uniform_random(8, seed=3).validate()
+
+
+class TestKronecker:
+    def test_skewed_degrees(self):
+        g = kronecker(11, degree=16, seed=0)
+        deg = g.degrees
+        # R-MAT has hubs far above the mean, unlike uniform random.
+        assert deg.max() > 10 * deg[deg > 0].mean()
+
+    def test_isolated_vertices_exist(self):
+        g = kronecker(11, degree=16, seed=0)
+        assert np.any(g.degrees == 0)  # trimmed later by preprocessing
+
+    def test_deterministic(self):
+        a = kronecker(8, seed=7)
+        b = kronecker(8, seed=7)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError, match="sum below 1"):
+            kronecker(8, a=0.5, b=0.3, c=0.3)
+
+
+class TestGrid:
+    def test_five_point_stencil(self):
+        g = grid2d(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # right edges + down edges
+        assert is_connected(g)
+        assert g.degrees.max() == 4
+
+    def test_eight_point(self):
+        g = grid2d(4, 4, diagonal=True)
+        assert g.degrees.max() == 8
+
+    def test_single_cell(self):
+        g = grid2d(1, 1)
+        assert g.n == 1 and g.m == 0
+
+
+class TestRoad:
+    def test_low_degree_high_diameter(self):
+        g = preprocess(road_network(40, 40, seed=0))
+        assert g.average_degree < 3.5
+        assert is_connected(g)
+
+    def test_keep_validation(self):
+        with pytest.raises(ValueError):
+            road_network(5, 5, keep=0.0)
+
+
+class TestWebgraph:
+    def test_locality(self):
+        from repro.graph import miss_rate
+
+        g = preprocess(webgraph(2000, seed=0))
+        assert miss_rate(g) < 0.3  # crawl ordering is cache-friendly
+
+    def test_heavy_tail(self):
+        g = webgraph(2000, seed=0)
+        assert g.degrees.max() > 8 * g.average_degree
+
+
+class TestCopyingPowerlaw:
+    def test_power_law_ish(self):
+        g = copying_powerlaw(2000, out_degree=10, seed=0)
+        deg = np.sort(g.degrees)[::-1]
+        # Top vertex far above median: heavy tail.
+        assert deg[0] > 10 * np.median(deg[deg > 0])
+
+    def test_no_locality(self):
+        from repro.graph import miss_rate
+
+        g = preprocess(copying_powerlaw(2000, seed=0))
+        assert miss_rate(g) > 0.5
+
+
+class TestMesh:
+    def test_holes_removed(self):
+        full = mesh_with_holes(30, 30, holes=[])
+        holed = mesh_with_holes(30, 30)
+        assert holed.n == full.n  # same id space before LCC
+        lcc = preprocess(holed)
+        assert lcc.n < 900
+
+    def test_connected_after_lcc(self):
+        g = preprocess(mesh_with_holes(25, 25))
+        assert is_connected(g)
+
+    def test_triangulated(self):
+        g = mesh_with_holes(10, 10, holes=[])
+        # Interior vertices of a one-diagonal triangulation reach degree 6.
+        assert g.degrees.max() == 6
+
+
+class TestOtherGenerators:
+    def test_random_geometric(self):
+        g = random_geometric(400, seed=0)
+        assert g.n == 400
+        assert 2 < g.average_degree < 12
+        g.validate()
+
+    def test_banded(self):
+        g = banded(300, offsets=(1, 2, 64))
+        assert g.has_edge(0, 1) and g.has_edge(0, 2) and g.has_edge(0, 64)
+        assert is_connected(g)
+
+    def test_banded_rejects_bad_offsets(self):
+        with pytest.raises(ValueError):
+            banded(10, offsets=(0,))
+        with pytest.raises(ValueError):
+            banded(10, offsets=(20,))
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(200, k=6, p=0.1, seed=0)
+        assert abs(g.average_degree - 6) < 1.0
+        with pytest.raises(ValueError):
+            watts_strogatz(100, k=5)  # odd k
+
+    def test_path_cycle_star_complete(self):
+        assert path_graph(5).m == 4
+        assert cycle_graph(5).m == 5
+        assert star_graph(5).m == 4
+        assert star_graph(5).degrees[0] == 4
+        assert complete_graph(5).m == 10
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.n == 15
+        assert g.m == 14
+        assert is_connected(g)
+        assert g.degrees[0] == 2  # root
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+        with pytest.raises(ValueError):
+            uniform_random(0)

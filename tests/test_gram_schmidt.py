@@ -1,0 +1,127 @@
+"""Tests for D-orthogonalization (MGS and CGS)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import d_orthogonalize
+from repro.parallel import Ledger
+
+
+def _dgram(S, d):
+    return S.T @ (d[:, None] * S)
+
+
+@pytest.fixture()
+def distancelike(rng):
+    """A plausible BFS distance matrix: nonnegative integers, full rank."""
+    n, s = 200, 6
+    B = rng.integers(0, 15, size=(n, s)).astype(np.float64)
+    return B
+
+
+@pytest.fixture()
+def degrees(rng):
+    return rng.integers(1, 10, size=200).astype(np.float64)
+
+
+class TestDOrthogonalize:
+    @pytest.mark.parametrize("method", ["mgs", "cgs"])
+    def test_d_orthonormal(self, distancelike, degrees, method):
+        res = d_orthogonalize(distancelike, degrees, method=method)
+        G = _dgram(res.S, degrees)
+        np.testing.assert_allclose(G, np.eye(res.S.shape[1]), atol=1e-8)
+
+    @pytest.mark.parametrize("method", ["mgs", "cgs"])
+    def test_d_orthogonal_to_ones(self, distancelike, degrees, method):
+        res = d_orthogonalize(distancelike, degrees, method=method)
+        proj = res.S.T @ degrees  # <s_i, 1>_D
+        np.testing.assert_allclose(proj, 0.0, atol=1e-8)
+
+    def test_plain_orthogonalization(self, distancelike):
+        res = d_orthogonalize(distancelike, None)
+        np.testing.assert_allclose(
+            res.S.T @ res.S, np.eye(res.S.shape[1]), atol=1e-8
+        )
+        np.testing.assert_allclose(res.S.sum(axis=0), 0.0, atol=1e-7)
+
+    def test_mgs_cgs_same_span(self, distancelike, degrees):
+        a = d_orthogonalize(distancelike, degrees, method="mgs")
+        b = d_orthogonalize(distancelike, degrees, method="cgs")
+        assert a.kept == b.kept
+        # Same subspace: projecting one basis onto the other loses nothing.
+        M = a.S.T @ (degrees[:, None] * b.S)
+        sigma = np.linalg.svd(M, compute_uv=False)
+        np.testing.assert_allclose(sigma, 1.0, atol=1e-6)
+
+    def test_duplicate_column_dropped(self, rng):
+        n = 100
+        d = np.ones(n)
+        b = rng.random(n) * 10
+        B = np.column_stack([b, b.copy(), rng.random(n) * 10])
+        res = d_orthogonalize(B, d)
+        assert 1 in res.dropped
+        assert res.S.shape[1] == 2
+
+    def test_constant_column_dropped(self, rng):
+        n = 80
+        B = np.column_stack([np.full(n, 7.0), rng.random(n) * 5])
+        res = d_orthogonalize(B, np.ones(n))
+        # A constant vector is parallel to s0 = 1 and must be dropped.
+        assert res.dropped == [0]
+
+    def test_kept_indices_in_input_order(self, distancelike, degrees):
+        res = d_orthogonalize(distancelike, degrees)
+        assert res.kept == sorted(res.kept)
+        assert set(res.kept) | set(res.dropped) == set(range(6))
+
+    def test_drop_tolerance(self, rng):
+        n = 60
+        b = rng.random(n)
+        # Second column = first + tiny noise; with a generous tolerance
+        # it must be dropped, with a tiny one it survives.
+        B = np.column_stack([b * 100, b * 100 + rng.random(n) * 1e-6])
+        loose = d_orthogonalize(B, np.ones(n), drop_tol=1e-3)
+        tight = d_orthogonalize(B, np.ones(n), drop_tol=1e-12)
+        assert loose.dropped == [1]
+        assert tight.dropped == []
+
+    def test_invalid_args(self, distancelike, degrees):
+        with pytest.raises(ValueError, match="method"):
+            d_orthogonalize(distancelike, degrees, method="qr")
+        with pytest.raises(ValueError, match="mismatch"):
+            d_orthogonalize(distancelike, degrees[:-5])
+        with pytest.raises(ValueError, match="positive"):
+            d_orthogonalize(distancelike, degrees * 0)
+
+    def test_cgs_cheaper_traffic_than_mgs(self, distancelike, degrees):
+        lm, lc = Ledger(), Ledger()
+        with lm.phase("DOrtho"):
+            d_orthogonalize(distancelike, degrees, method="mgs", ledger=lm)
+        with lc.phase("DOrtho"):
+            d_orthogonalize(distancelike, degrees, method="cgs", ledger=lc)
+        tm = lm.total().parallel
+        tc = lc.total().parallel
+        assert tc.bytes_streamed < tm.bytes_streamed  # Table 7 mechanism
+        assert tc.regions < tm.regions
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(5, 60),
+    s=st.integers(1, 6),
+    seed=st.integers(0, 999),
+    method=st.sampled_from(["mgs", "cgs"]),
+)
+def test_dortho_property(n, s, seed, method):
+    """Property: output always D-orthonormal and D-orthogonal to ones."""
+    rng = np.random.default_rng(seed)
+    B = rng.integers(0, 8, size=(n, s)).astype(float)
+    d = rng.integers(1, 6, size=n).astype(float)
+    res = d_orthogonalize(B, d, method=method)
+    k = res.S.shape[1]
+    if k:
+        np.testing.assert_allclose(_dgram(res.S, d), np.eye(k), atol=1e-7)
+        np.testing.assert_allclose(res.S.T @ d, 0.0, atol=1e-7)
+    assert len(res.kept) + len(res.dropped) == s

@@ -1,0 +1,97 @@
+"""End-to-end integration tests across datasets and algorithms."""
+
+import numpy as np
+import pytest
+
+from repro import datasets, parhde, phde, pivotmds
+from repro.metrics import sampled_stress
+from repro.parallel import BRIDGES_RSM
+
+
+@pytest.mark.parametrize("name", datasets.available())
+def test_parhde_runs_on_every_dataset(name):
+    g = datasets.load(name, scale="tiny")
+    res = parhde(g, s=min(8, g.n - 1), seed=0)
+    assert res.coords.shape == (g.n, 2)
+    assert np.all(np.isfinite(res.coords))
+    assert len(res.ledger) > 0
+    t1 = res.simulated_seconds(BRIDGES_RSM, 1)
+    t28 = res.simulated_seconds(BRIDGES_RSM, 28)
+    assert 0 < t28 <= t1 * 1.0001
+
+
+@pytest.mark.parametrize("algo", [parhde, phde, pivotmds])
+def test_all_algorithms_beat_random_layout(algo):
+    g = datasets.load("barth", scale="tiny")
+    res = algo(g, s=10, seed=0)
+    rng = np.random.default_rng(7)
+    rand_coords = rng.standard_normal((g.n, 2))
+    assert sampled_stress(g, res.coords, seed=1) < sampled_stress(
+        g, rand_coords, seed=1
+    )
+
+
+def test_weighted_end_to_end():
+    from repro.graph import random_integer_weights
+
+    g = datasets.load("road", scale="tiny")
+    gw = random_integer_weights(g, 1, 32, seed=0)
+    res = parhde(gw, s=6, seed=0, weighted=True)
+    assert np.all(np.isfinite(res.coords))
+    ph = res.phase_seconds(BRIDGES_RSM, 28)
+    assert ph["BFS"] > 0
+
+
+def test_layout_then_zoom_then_draw(tmp_path):
+    from repro import zoom_layout
+    from repro.drawing import read_png, save_drawing
+
+    g = datasets.load("barth", scale="tiny")
+    res = parhde(g, s=10, seed=0)
+    save_drawing(g, res.coords, tmp_path / "global.png", width=100, height=100)
+    z = zoom_layout(g, center=int(g.n // 2), hops=6, s=8, seed=0)
+    save_drawing(
+        z.subgraph, z.layout.coords, tmp_path / "zoom.png", width=100, height=100
+    )
+    assert read_png(tmp_path / "global.png").shape == (100, 100, 3)
+    assert read_png(tmp_path / "zoom.png").shape == (100, 100, 3)
+
+
+def test_partition_visualization_pipeline(tmp_path):
+    """Section 4.5.4: color intra/inter-partition edges on the layout."""
+    from repro.drawing import partition_edge_colors, render_layout
+
+    g = datasets.load("ecology", scale="tiny")
+    res = parhde(g, s=8, seed=0)
+    parts = (res.coords[:, 0] > np.median(res.coords[:, 0])).astype(np.int64)
+    u, v = g.edge_list()
+    colors = partition_edge_colors(u, v, parts)
+    canvas = render_layout(
+        g, res.coords, width=100, height=100, edge_colors=colors
+    )
+    assert canvas.ink_fraction() > 0.01
+
+
+def test_simulation_consistency_across_machines():
+    from repro.parallel import BRIDGES_ESM, LAPTOP
+
+    g = datasets.load("kron", scale="tiny")
+    res = parhde(g, s=6, seed=0)
+    for machine in (BRIDGES_RSM, BRIDGES_ESM, LAPTOP):
+        t = res.simulated_seconds(machine, machine.cores)
+        assert np.isfinite(t) and t > 0
+
+
+def test_full_pipeline_reuses_distance_matrix():
+    """B, S and the eigensolve stay mutually consistent."""
+    g = datasets.load("pa", scale="tiny")
+    res = parhde(g, s=8, seed=0)
+    d = g.weighted_degrees
+    # coords = S @ Y where Y are eigenvectors of S'LS: verify residual.
+    from repro.linalg import laplacian_spmm
+
+    Z = res.S.T @ laplacian_spmm(g, res.S)
+    for k in range(2):
+        y = np.linalg.lstsq(res.S, res.coords[:, k], rcond=None)[0]
+        r = Z @ y - res.eigenvalues[k] * y
+        assert np.abs(r).max() < 1e-6

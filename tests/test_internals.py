@@ -1,0 +1,176 @@
+"""Deeper coverage of internals: caches, cost plumbing, corner cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfs.runner import _SubLedger
+from repro.graph import CSRGraph, from_edges, grid2d
+from repro.parallel import BRIDGES_RSM, KernelCost, Ledger
+
+
+class TestCSRCaching:
+    def test_degree_cache_reused(self, small_grid):
+        a = small_grid.degrees
+        b = small_grid.degrees
+        assert a is b  # cached object identity
+
+    def test_weighted_degree_cache(self, small_grid):
+        a = small_grid.weighted_degrees
+        assert small_grid.weighted_degrees is a
+
+    def test_with_weights_does_not_share_cache(self, small_grid):
+        _ = small_grid.weighted_degrees
+        gw = small_grid.with_weights(np.full(small_grid.nnz, 2.0))
+        np.testing.assert_allclose(
+            gw.weighted_degrees, 2.0 * small_grid.degrees
+        )
+
+    def test_miss_rate_cached_on_graph(self, small_grid):
+        from repro.bfs import bfs_distances
+
+        bfs_distances(small_grid, 0)
+        assert "miss_rate" in small_grid._cache
+
+
+class TestSubLedger:
+    def test_forces_subphase(self):
+        led = Ledger()
+        sub = _SubLedger(led, "traversal")
+        with led.phase("BFS"):
+            sub.add(KernelCost(work=5), subphase="ignored")
+        subs = led.subphase_totals("BFS")
+        assert list(subs) == ["traversal"]
+        assert subs["traversal"].parallel.work == 5
+
+    def test_passes_sequential_flag(self):
+        led = Ledger()
+        sub = _SubLedger(led, "x")
+        with led.phase("P"):
+            sub.add(KernelCost(work=2), sequential=True)
+        assert led.total().sequential.work == 2
+
+    def test_exposes_current_phase(self):
+        led = Ledger()
+        sub = _SubLedger(led, "x")
+        with led.phase("Zed"):
+            assert sub.current_phase == "Zed"
+
+
+class TestLedgerSubphaseEdge:
+    def test_unlabeled_records_grouped_as_main(self):
+        led = Ledger()
+        with led.phase("P"):
+            led.add(KernelCost(work=1))
+            led.add(KernelCost(work=2), subphase="s")
+        subs = led.subphase_totals("P")
+        assert subs["(main)"].parallel.work == 1
+        assert subs["s"].parallel.work == 2
+
+    def test_subphase_totals_missing_phase(self):
+        assert Ledger().subphase_totals("nope") == {}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    work=st.floats(0, 1e10),
+    flops=st.floats(0, 1e10),
+    streamed=st.floats(0, 1e10),
+    lines=st.floats(0, 1e8),
+    regions=st.integers(0, 100),
+    p1=st.integers(1, 28),
+    p2=st.integers(1, 28),
+)
+def test_machine_body_monotone_property(
+    work, flops, streamed, lines, regions, p1, p2
+):
+    """Property: without barriers, more threads never hurt."""
+    cost = KernelCost(
+        work=work, flops=flops, bytes_streamed=streamed, random_lines=lines
+    )
+    lo, hi = sorted((p1, p2))
+    assert BRIDGES_RSM.time(cost, hi) <= BRIDGES_RSM.time(cost, lo) * 1.000001
+
+
+class TestZoomEdgeCases:
+    def test_zoom_whole_graph(self, small_grid):
+        from repro.core import zoom_layout
+
+        z = zoom_layout(small_grid, center=0, hops=10_000, s=6, seed=0)
+        assert z.subgraph.n == small_grid.n
+
+    def test_khop_isolated_center(self):
+        from repro.core.zoom import khop_vertices
+
+        g = from_edges(3, [1], [2])
+        np.testing.assert_array_equal(khop_vertices(g, 0, 5), [0])
+
+
+class TestResultHelpers:
+    def test_xy_properties(self, tiny_mesh):
+        from repro import parhde
+
+        res = parhde(tiny_mesh, s=6, seed=0)
+        np.testing.assert_array_equal(res.x, res.coords[:, 0])
+        np.testing.assert_array_equal(res.y, res.coords[:, 1])
+        assert res.n == tiny_mesh.n
+
+    def test_breakdown_object(self, tiny_mesh):
+        from repro import parhde
+
+        res = parhde(tiny_mesh, s=6, seed=0)
+        bd = res.breakdown(BRIDGES_RSM, 14)
+        assert bd.threads == 14
+        assert bd.total == pytest.approx(sum(bd.seconds.values()))
+
+
+class TestDatasetsSmallScale:
+    @pytest.mark.parametrize("name", ["urand", "road", "barth"])
+    def test_small_scale_loads(self, name):
+        from repro import datasets
+        from repro.graph import is_connected
+
+        g = datasets.load(name, scale="small")
+        assert is_connected(g)
+        assert g.n > datasets.load(name, scale="tiny").n
+
+
+class TestFrontierEdgeCases:
+    def test_gather_duplicate_vertices(self, small_grid):
+        from repro.bfs import gather_neighbors
+
+        nbrs, counts, starts = gather_neighbors(
+            small_grid, np.array([3, 3], dtype=np.int64)
+        )
+        assert counts[0] == counts[1] == small_grid.degree(3)
+        np.testing.assert_array_equal(
+            nbrs[: counts[0]], nbrs[counts[0] :]
+        )
+
+    def test_empty_bitmap_conversions(self):
+        from repro.bfs import bitmap_to_queue, queue_to_bitmap
+
+        bm = queue_to_bitmap(np.array([], dtype=np.int64), 5)
+        assert not bm.any()
+        assert len(bitmap_to_queue(bm)) == 0
+
+
+class TestPriorPeakBytes:
+    def test_scaling_in_s(self, small_grid):
+        from repro.baselines import parhde_peak_bytes, prior_peak_bytes
+
+        assert prior_peak_bytes(small_grid, 50) > prior_peak_bytes(
+            small_grid, 10
+        )
+        assert parhde_peak_bytes(small_grid, 50) > parhde_peak_bytes(
+            small_grid, 10
+        )
+        # The gap is the materialized Laplacian: independent of s.
+        gap50 = prior_peak_bytes(small_grid, 50) - parhde_peak_bytes(
+            small_grid, 50
+        )
+        gap10 = prior_peak_bytes(small_grid, 10) - parhde_peak_bytes(
+            small_grid, 10
+        )
+        assert gap50 == pytest.approx(gap10)

@@ -1,0 +1,153 @@
+"""Tests for NetworkX interop, Procrustes alignment, and 3D projection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.drawing import (
+    project_orthographic,
+    rotation_matrix,
+    turntable_views,
+)
+from repro.graph import from_networkx, layout_to_networkx_pos, to_networkx
+from repro.metrics import layout_disparity, procrustes_align
+
+
+class TestNetworkXInterop:
+    def test_roundtrip_unweighted(self, small_grid):
+        G = to_networkx(small_grid)
+        back = from_networkx(G)
+        np.testing.assert_array_equal(back.indptr, small_grid.indptr)
+        np.testing.assert_array_equal(back.indices, small_grid.indices)
+        assert back.weights is None
+
+    def test_roundtrip_weighted(self, small_grid):
+        from repro.graph import random_integer_weights
+
+        g = random_integer_weights(small_grid, 1, 9, seed=0)
+        back = from_networkx(to_networkx(g))
+        np.testing.assert_allclose(back.weights, g.weights)
+
+    def test_from_networkx_arbitrary_labels(self):
+        G = nx.Graph()
+        G.add_edges_from([("a", "b"), ("b", "c"), ("c", "a")])
+        g = from_networkx(G)
+        assert g.n == 3 and g.m == 3
+
+    def test_from_networkx_mixed_weights_treated_unweighted(self):
+        G = nx.Graph()
+        G.add_edge(0, 1, weight=2.0)
+        G.add_edge(1, 2)  # no weight attribute
+        g = from_networkx(G)
+        assert g.weights is None
+
+    def test_from_networkx_classic_generators(self):
+        g = from_networkx(nx.karate_club_graph())
+        g.validate()
+        assert g.n == 34
+        layout = parhde(g, s=8, seed=0)
+        assert np.all(np.isfinite(layout.coords))
+
+    def test_multigraph_collapses(self):
+        G = nx.MultiGraph()
+        G.add_edge(0, 1)
+        G.add_edge(0, 1)
+        G.add_edge(1, 2)
+        g = from_networkx(G, weight=None)
+        assert g.m == 2
+
+    def test_pos_dict(self, rng):
+        coords = rng.random((5, 2))
+        pos = layout_to_networkx_pos(coords)
+        assert pos[3] == tuple(coords[3].tolist())
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            from_networkx([1, 2, 3])
+
+
+class TestProcrustes:
+    def test_identical_after_rotation_and_scale(self, rng):
+        X = rng.standard_normal((50, 2))
+        theta = 0.7
+        R = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        Y = 3.5 * (X @ R) + [10.0, -2.0]
+        res = procrustes_align(X, Y)
+        assert res.disparity < 1e-12
+        np.testing.assert_allclose(res.aligned, Y, atol=1e-9)
+        assert res.scale == pytest.approx(3.5)
+
+    def test_reflection_handled(self, rng):
+        X = rng.standard_normal((30, 2))
+        Y = X * [-1.0, 1.0]  # mirror
+        assert layout_disparity(X, Y) < 1e-12
+
+    def test_unrelated_layouts_high_disparity(self, rng):
+        X = rng.standard_normal((400, 2))
+        Y = rng.standard_normal((400, 2))
+        assert layout_disparity(X, Y) > 0.5
+
+    def test_rotation_is_orthogonal(self, rng):
+        X = rng.standard_normal((20, 3))
+        Y = rng.standard_normal((20, 3))
+        res = procrustes_align(X, Y)
+        np.testing.assert_allclose(
+            res.rotation @ res.rotation.T, np.eye(3), atol=1e-10
+        )
+
+    def test_same_seed_layouts_agree(self, tiny_mesh):
+        """Two ParHDE runs with different pivots still draw the same shape."""
+        a = parhde(tiny_mesh, s=15, seed=0).coords
+        b = parhde(tiny_mesh, s=15, seed=3).coords
+        assert layout_disparity(a, b) < 0.35
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            procrustes_align(rng.random((4, 2)), rng.random((5, 2)))
+        with pytest.raises(ValueError):
+            procrustes_align(np.zeros((4, 2)), rng.random((4, 2)))
+
+
+class Test3DProjection:
+    def test_rotation_matrix_orthogonal(self):
+        R = rotation_matrix(0.3, -0.8, 1.2)
+        np.testing.assert_allclose(R @ R.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_identity_projection_drops_z(self, rng):
+        coords = rng.random((10, 3))
+        np.testing.assert_allclose(
+            project_orthographic(coords), coords[:, :2]
+        )
+
+    def test_rotation_preserves_distances(self, rng):
+        coords = rng.random((20, 3))
+        view = project_orthographic(coords, yaw=0.5, pitch=0.2, roll=0.1)
+        # Projected distances never exceed 3D distances.
+        d3 = np.linalg.norm(coords[0] - coords[1])
+        d2 = np.linalg.norm(view[0] - view[1])
+        assert d2 <= d3 + 1e-12
+
+    def test_turntable(self, rng):
+        coords = rng.random((15, 3))
+        views = turntable_views(coords, frames=6)
+        assert len(views) == 6
+        assert all(v.shape == (15, 2) for v in views)
+        assert not np.allclose(views[0], views[1])
+
+    def test_3d_layout_end_to_end(self, tiny_mesh, tmp_path):
+        from repro.drawing import save_drawing
+
+        res = parhde(tiny_mesh, s=10, dims=3, seed=0)
+        view = project_orthographic(res.coords, yaw=0.6, pitch=0.4)
+        save_drawing(tiny_mesh, view, tmp_path / "view.png", width=80, height=80)
+        assert (tmp_path / "view.png").exists()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            project_orthographic(rng.random((5, 2)))
+        with pytest.raises(ValueError):
+            turntable_views(rng.random((5, 3)), frames=0)

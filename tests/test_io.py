@@ -1,0 +1,177 @@
+"""Round-trip tests for graph serialization formats."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_edges,
+    load_npz,
+    read_edge_list,
+    read_matrix_market,
+    read_metis,
+    save_npz,
+    write_edge_list,
+    write_matrix_market,
+    write_metis,
+)
+
+
+@pytest.fixture()
+def weighted_graph():
+    return from_edges(
+        6,
+        [0, 1, 2, 3, 4, 0],
+        [1, 2, 3, 4, 5, 5],
+        weights=[1.5, 2.0, 0.25, 4.0, 1.0, 3.0],
+        name="wg",
+    )
+
+
+def _assert_same(a, b, check_weights=True):
+    np.testing.assert_array_equal(a.indptr, b.indptr)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    if check_weights:
+        if a.weights is None:
+            assert b.weights is None
+        else:
+            np.testing.assert_allclose(a.weights, b.weights)
+
+
+class TestEdgeList:
+    def test_roundtrip_unweighted(self, small_grid, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edge_list(small_grid, p)
+        _assert_same(small_grid, read_edge_list(p))
+
+    def test_roundtrip_weighted(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edge_list(weighted_graph, p)
+        _assert_same(weighted_graph, read_edge_list(p))
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n\n% other\n0 1\n1 2\n")
+        g = read_edge_list(p)
+        assert g.n == 3 and g.m == 2
+
+    def test_malformed_line(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_edge_list(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nothing\n")
+        assert read_edge_list(p).n == 0
+
+
+class TestMatrixMarket:
+    def test_roundtrip_pattern(self, small_grid, tmp_path):
+        p = tmp_path / "g.mtx"
+        write_matrix_market(small_grid, p)
+        _assert_same(small_grid, read_matrix_market(p))
+
+    def test_roundtrip_weighted(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.mtx"
+        write_matrix_market(weighted_graph, p)
+        _assert_same(weighted_graph, read_matrix_market(p))
+
+    def test_general_symmetry_and_negatives(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 4\n1 2 1.0\n2 1 1.0\n2 3 -2.0\n3 3 5.0\n"
+        )
+        g = read_matrix_market(p)
+        # (1,2) duplicated directions merge; |−2| kept; diagonal dropped.
+        assert g.m == 2
+        assert g.has_edge(0, 1)
+        i = np.searchsorted(g.neighbors(1), 2)
+        assert g.edge_weights_of(1)[i] == 2.0
+
+    def test_rejects_non_mm(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text("hello\n")
+        with pytest.raises(ValueError, match="Matrix Market"):
+            read_matrix_market(p)
+
+    def test_rejects_dense(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(p)
+
+
+class TestMetis:
+    def test_roundtrip_unweighted(self, small_grid, tmp_path):
+        p = tmp_path / "g.graph"
+        write_metis(small_grid, p)
+        _assert_same(small_grid, read_metis(p))
+
+    def test_roundtrip_weighted(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.graph"
+        write_metis(weighted_graph, p)
+        _assert_same(weighted_graph, read_metis(p))
+
+
+class TestNpz:
+    def test_roundtrip(self, small_random, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(small_random.with_name("roundtrip"), p)
+        g = load_npz(p)
+        _assert_same(small_random, g)
+        assert g.name == "roundtrip"
+
+    def test_roundtrip_weighted(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(weighted_graph, p)
+        _assert_same(weighted_graph, load_npz(p))
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(2, 25),
+    k=st.integers(1, 50),
+    seed=st.integers(0, 999),
+    weighted=st.booleans(),
+    fmt=st.sampled_from(["edgelist", "mm", "metis", "npz"]),
+)
+def test_io_roundtrip_property(tmp_path_factory, n, k, seed, weighted, fmt):
+    """Property: every format round-trips arbitrary simple graphs."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, size=k)
+    v = rng.integers(0, n, size=k)
+    w = rng.integers(1, 9, size=k).astype(float) if weighted else None
+    g = from_edges(n, u, v, w)
+    path = tmp_path_factory.mktemp("io") / f"g-{fmt}"
+    if fmt == "edgelist":
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        back_n = back.n  # edge lists cannot express trailing isolated ids
+        assert back_n <= g.n
+        if g.m:
+            u2, v2 = g.edge_list()
+            for a, b in zip(u2.tolist(), v2.tolist()):
+                assert back.has_edge(a, b)
+        return
+    if fmt == "mm":
+        write_matrix_market(g, path)
+        back = read_matrix_market(path)
+    elif fmt == "metis":
+        write_metis(g, path)
+        back = read_metis(path)
+    else:
+        write_npz = save_npz
+        write_npz(g, path.with_suffix(".npz"))
+        back = load_npz(path.with_suffix(".npz"))
+    np.testing.assert_array_equal(back.indptr, g.indptr)
+    np.testing.assert_array_equal(back.indices, g.indices)
+    if weighted and g.m:
+        np.testing.assert_allclose(back.weights, g.weights)

@@ -1,0 +1,130 @@
+"""Tests for k-means, spectral clustering, and the multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    grid2d,
+    mesh_with_holes,
+    planted_partition,
+    preprocess,
+)
+from repro.partition import (
+    balance,
+    cut_fraction,
+    kmeans,
+    multilevel_bisection,
+    multilevel_kway,
+    spectral_clustering,
+)
+
+
+class TestKMeans:
+    def test_obvious_clusters(self, rng):
+        X = np.concatenate(
+            [rng.normal(0, 0.1, (40, 2)), rng.normal(5, 0.1, (60, 2))]
+        )
+        res = kmeans(X, 2, seed=0)
+        assert res.converged
+        assert len(set(res.labels[:40])) == 1
+        assert len(set(res.labels[40:])) == 1
+        assert res.labels[0] != res.labels[50]
+
+    def test_inertia_decreases_with_k(self, rng):
+        X = rng.random((200, 2))
+        inertias = [kmeans(X, k, seed=0).inertia for k in (1, 2, 4, 8)]
+        assert all(b <= a + 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_exactly_k_clusters(self, rng):
+        X = rng.random((50, 2))
+        res = kmeans(X, 7, seed=1)
+        assert len(np.unique(res.labels)) == 7
+
+    def test_k_equals_n(self, rng):
+        X = rng.random((6, 2))
+        res = kmeans(X, 6, seed=0)
+        assert res.inertia < 1e-9
+
+    def test_k1_center_is_mean(self, rng):
+        X = rng.random((30, 3))
+        res = kmeans(X, 1, seed=0)
+        np.testing.assert_allclose(res.centers[0], X.mean(axis=0))
+
+    def test_deterministic(self, rng):
+        X = rng.random((80, 2))
+        a = kmeans(X, 3, seed=9)
+        b = kmeans(X, 3, seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.random((5, 2)), 0)
+        with pytest.raises(ValueError):
+            kmeans(rng.random((5, 2)), 6)
+        with pytest.raises(ValueError):
+            kmeans(rng.random(5), 2)
+
+
+class TestSpectralClustering:
+    def test_recovers_planted_communities(self):
+        g = preprocess(
+            planted_partition(900, 3, degree_in=16, degree_out=0.5, seed=0)
+        )
+        res = spectral_clustering(g, 3, seed=0)
+        truth = np.arange(g.n) * 3 // g.n
+        agree = sum(
+            int(np.bincount(truth[res.labels == c]).max())
+            for c in range(3)
+            if (res.labels == c).any()
+        )
+        assert agree / g.n > 0.7
+
+    def test_cut_far_below_random(self):
+        g = preprocess(
+            planted_partition(600, 2, degree_in=14, degree_out=0.8, seed=1)
+        )
+        res = spectral_clustering(g, 2, seed=0)
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 2, size=g.n)
+        assert cut_fraction(g, res.labels) < 0.5 * cut_fraction(g, rand)
+
+    def test_validation(self, small_grid):
+        with pytest.raises(ValueError):
+            spectral_clustering(small_grid, 0)
+
+
+class TestMultilevelPartitioner:
+    def test_bisection_quality(self):
+        g = preprocess(mesh_with_holes(40, 40))
+        res = multilevel_bisection(g, seed=0)
+        assert res.levels_used >= 2
+        assert balance(res.parts, 2) < 1.25
+        # A mesh bisector cut is O(sqrt(n)); allow generous slack.
+        assert res.cut < 4 * np.sqrt(g.n)
+
+    def test_bisection_beats_random(self, tiny_mesh):
+        res = multilevel_bisection(tiny_mesh, seed=0)
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 2, size=tiny_mesh.n)
+        from repro.partition import edge_cut
+
+        assert res.cut < 0.4 * edge_cut(tiny_mesh, rand)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_kway(self, k):
+        g = grid2d(24, 24)
+        res = multilevel_kway(g, k, seed=0)
+        assert len(np.unique(res.parts)) == k
+        assert balance(res.parts, k) < 1.35
+        assert cut_fraction(g, res.parts) < 0.25
+
+    def test_k1_trivial(self, small_grid):
+        res = multilevel_kway(small_grid, 1)
+        assert np.all(res.parts == 0)
+        assert res.cut == 0.0
+
+    def test_validation(self, small_grid):
+        with pytest.raises(ValueError):
+            multilevel_kway(small_grid, 0)
+        with pytest.raises(ValueError):
+            multilevel_kway(small_grid, small_grid.n + 1)

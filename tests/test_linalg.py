@@ -1,0 +1,139 @@
+"""Tests for sparse/dense linear algebra kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges, random_integer_weights
+from repro.linalg import (
+    laplacian_quadratic_form,
+    laplacian_spmm,
+    spmm,
+    spmv,
+    walk_spmm,
+)
+from repro.parallel import Ledger
+
+from conftest import random_connected_graph
+
+
+def dense_adjacency(g):
+    A = np.zeros((g.n, g.n))
+    for v in range(g.n):
+        A[v, g.neighbors(v)] = g.edge_weights_of(v)
+    return A
+
+
+class TestSpMM:
+    def test_matches_dense(self, small_random, rng):
+        X = rng.standard_normal((small_random.n, 4))
+        A = dense_adjacency(small_random)
+        np.testing.assert_allclose(spmm(small_random, X), A @ X)
+
+    def test_vector_form(self, small_grid, rng):
+        x = rng.standard_normal(small_grid.n)
+        A = dense_adjacency(small_grid)
+        out = spmv(small_grid, x)
+        assert out.shape == (small_grid.n,)
+        np.testing.assert_allclose(out, A @ x)
+
+    def test_weighted(self, small_random, rng):
+        g = random_integer_weights(small_random, 1, 9, seed=4)
+        X = rng.standard_normal((g.n, 3))
+        np.testing.assert_allclose(spmm(g, X), dense_adjacency(g) @ X)
+
+    def test_empty_rows(self):
+        g = from_edges(5, [1], [3])  # rows 0, 2, 4 empty
+        X = np.ones((5, 2))
+        out = spmm(g, X)
+        np.testing.assert_allclose(out[[0, 2, 4]], 0.0)
+        np.testing.assert_allclose(out[1], 1.0)
+
+    def test_shape_mismatch(self, small_grid):
+        with pytest.raises(ValueError):
+            spmm(small_grid, np.ones((3, 2)))
+
+    def test_cost_recorded(self, small_random, rng):
+        led = Ledger()
+        with led.phase("TripleProd"):
+            spmm(small_random, rng.standard_normal((small_random.n, 2)), ledger=led)
+        tot = led.total().parallel
+        assert tot.flops == pytest.approx(2.0 * small_random.nnz * 2)
+        assert tot.random_lines > 0
+
+    def test_matches_scipy(self, small_random, rng):
+        import scipy.sparse as sp
+
+        A = sp.csr_matrix(
+            (
+                np.ones(small_random.nnz),
+                small_random.indices,
+                small_random.indptr,
+            ),
+            shape=(small_random.n, small_random.n),
+        )
+        X = rng.standard_normal((small_random.n, 3))
+        np.testing.assert_allclose(spmm(small_random, X), A @ X)
+
+
+class TestLaplacian:
+    def test_laplacian_matches_dense(self, small_random, rng):
+        A = dense_adjacency(small_random)
+        L = np.diag(A.sum(axis=1)) - A
+        X = rng.standard_normal((small_random.n, 3))
+        np.testing.assert_allclose(laplacian_spmm(small_random, X), L @ X)
+
+    def test_laplacian_weighted(self, small_grid, rng):
+        g = random_integer_weights(small_grid, 1, 5, seed=1)
+        A = dense_adjacency(g)
+        L = np.diag(A.sum(axis=1)) - A
+        x = rng.standard_normal(g.n)
+        np.testing.assert_allclose(laplacian_spmm(g, x), L @ x)
+
+    def test_laplacian_annihilates_constant(self, small_random):
+        ones = np.ones(small_random.n)
+        np.testing.assert_allclose(
+            laplacian_spmm(small_random, ones), 0.0, atol=1e-12
+        )
+
+    def test_quadratic_form_identity(self, small_random, rng):
+        """y'Ly computed via SpMM equals the edgewise sum (section 2.1)."""
+        y = rng.standard_normal(small_random.n)
+        via_spmm = float(y @ laplacian_spmm(small_random, y))
+        assert laplacian_quadratic_form(small_random, y) == pytest.approx(via_spmm)
+
+    def test_quadratic_form_weighted(self, small_grid, rng):
+        g = random_integer_weights(small_grid, 1, 7, seed=2)
+        y = rng.standard_normal(g.n)
+        assert laplacian_quadratic_form(g, y) == pytest.approx(
+            float(y @ laplacian_spmm(g, y))
+        )
+
+    def test_quadratic_form_nonnegative(self, small_random, rng):
+        y = rng.standard_normal(small_random.n)
+        assert laplacian_quadratic_form(small_random, y) >= 0
+
+    def test_walk_matrix(self, small_random, rng):
+        A = dense_adjacency(small_random)
+        W = A / A.sum(axis=1, keepdims=True)
+        x = rng.standard_normal(small_random.n)
+        np.testing.assert_allclose(walk_spmm(small_random, x), W @ x)
+
+    def test_walk_preserves_constant(self, small_random):
+        ones = np.ones(small_random.n)
+        np.testing.assert_allclose(walk_spmm(small_random, ones), ones)
+
+    def test_walk_rejects_isolated(self):
+        g = from_edges(3, [0], [1])
+        with pytest.raises(ValueError, match="isolated"):
+            walk_spmm(g, np.ones(3))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 25), extra=st.integers(0, 40), seed=st.integers(0, 999))
+def test_spmm_property_random_graphs(n, extra, seed):
+    g = random_connected_graph(n, extra, seed)
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 2))
+    np.testing.assert_allclose(spmm(g, X), dense_adjacency(g) @ X, atol=1e-9)

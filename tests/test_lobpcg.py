@@ -1,0 +1,98 @@
+"""Tests for the LOBPCG generalized eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.graph import cycle_graph, from_edges, grid2d
+from repro.linalg import lobpcg, power_iteration
+
+
+def dense_generalized_eigs(g):
+    """Reference: generalized eigenvalues of (L, D), ascending."""
+    A = np.zeros((g.n, g.n))
+    for v in range(g.n):
+        A[v, g.neighbors(v)] = g.edge_weights_of(v)
+    d = A.sum(axis=1)
+    L = np.diag(d) - A
+    # Symmetric similarity transform: D^-1/2 L D^-1/2.
+    Dm = np.diag(1.0 / np.sqrt(d))
+    return np.sort(np.linalg.eigvalsh(Dm @ L @ Dm))
+
+
+class TestCorrectness:
+    def test_cycle_eigenvalues(self):
+        g = cycle_graph(12)
+        res = lobpcg(g, 2, tol=1e-10, seed=0)
+        expected = 1 - np.cos(2 * np.pi / 12)  # mu = 1 - lambda_walk
+        np.testing.assert_allclose(res.eigenvalues, expected, atol=1e-8)
+
+    def test_grid_matches_dense(self, small_grid):
+        res = lobpcg(small_grid, 3, tol=1e-10, seed=0)
+        ref = dense_generalized_eigs(small_grid)
+        np.testing.assert_allclose(res.eigenvalues, ref[1:4], atol=1e-7)
+
+    def test_matches_power_iteration(self, small_random):
+        res = lobpcg(small_random, 2, tol=1e-10, seed=0)
+        pi = power_iteration(small_random, 2, tol=1e-10, seed=0)
+        # power iteration reports walk eigenvalues; mu = 1 - lambda.
+        np.testing.assert_allclose(
+            np.sort(res.eigenvalues),
+            np.sort(1.0 - pi.eigenvalues),
+            atol=1e-5,
+        )
+
+    def test_vectors_d_orthonormal_and_deflated(self, small_grid):
+        res = lobpcg(small_grid, 2, tol=1e-9, seed=0)
+        d = small_grid.weighted_degrees
+        G = res.vectors.T @ (d[:, None] * res.vectors)
+        np.testing.assert_allclose(G, np.eye(2), atol=1e-8)
+        np.testing.assert_allclose(res.vectors.T @ d, 0.0, atol=1e-8)
+
+    def test_residuals_below_tol(self, small_random):
+        res = lobpcg(small_random, 2, tol=1e-9, seed=1)
+        assert np.all(res.residual_norms < 1e-9)
+
+    def test_weighted_graph(self, small_grid):
+        from repro.graph import random_integer_weights
+
+        g = random_integer_weights(small_grid, 1, 5, seed=0)
+        res = lobpcg(g, 2, tol=1e-9, seed=0)
+        ref = dense_generalized_eigs(g)
+        np.testing.assert_allclose(res.eigenvalues, ref[1:3], atol=1e-6)
+
+
+class TestConvergence:
+    def test_faster_than_power_iteration(self, tiny_mesh):
+        """LOBPCG's raison d'etre on meshes with tiny spectral gaps."""
+        res = lobpcg(tiny_mesh, 2, tol=1e-8, max_iter=300, seed=0)
+        pi = power_iteration(tiny_mesh, 2, tol=1e-8, max_iter=3000, seed=0)
+        assert res.iterations < 300  # converged
+        assert res.iterations * 3 < pi.total_iterations
+
+    def test_parhde_warm_start_helps(self, tiny_mesh):
+        """Section 4.5.3: ParHDE as LOBPCG preprocessing."""
+        hde = parhde(tiny_mesh, s=10, seed=0)
+        warm = lobpcg(tiny_mesh, 2, x0=hde.coords, tol=1e-8, seed=0)
+        cold = lobpcg(tiny_mesh, 2, tol=1e-8, seed=0)
+        assert warm.iterations <= cold.iterations
+        np.testing.assert_allclose(
+            warm.eigenvalues, cold.eigenvalues, atol=1e-6
+        )
+
+
+class TestValidation:
+    def test_bad_k(self, small_grid):
+        with pytest.raises(ValueError):
+            lobpcg(small_grid, 0)
+        with pytest.raises(ValueError):
+            lobpcg(small_grid, small_grid.n)
+
+    def test_bad_x0_shape(self, small_grid):
+        with pytest.raises(ValueError):
+            lobpcg(small_grid, 2, x0=np.ones((3, 2)))
+
+    def test_isolated_vertex_rejected(self):
+        g = from_edges(3, [0], [1])
+        with pytest.raises(ValueError, match="isolated"):
+            lobpcg(g, 1)

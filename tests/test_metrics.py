@@ -1,0 +1,131 @@
+"""Tests for layout quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import cycle_graph, grid2d, path_graph
+from repro.metrics import (
+    edge_length_stats,
+    optimal_scale,
+    principal_angles,
+    rayleigh_quotients,
+    sampled_stress,
+    spread,
+    stress_from_distances,
+)
+
+
+class TestStress:
+    def test_perfect_line_embedding_zero_stress(self):
+        g = path_graph(30)
+        coords = np.column_stack([np.arange(30.0), np.zeros(30)])
+        assert sampled_stress(g, coords, samples=5, seed=0) < 1e-12
+
+    def test_scale_invariance(self):
+        g = path_graph(25)
+        coords = np.column_stack([np.arange(25.0), np.zeros(25)])
+        s1 = sampled_stress(g, coords, samples=4, seed=1)
+        s2 = sampled_stress(g, coords * 37.0, samples=4, seed=1)
+        assert s1 == pytest.approx(s2, abs=1e-12)
+
+    def test_random_layout_worse_than_good_layout(self, tiny_mesh):
+        from repro import parhde
+
+        rng = np.random.default_rng(0)
+        good = parhde(tiny_mesh, s=10, seed=0).coords
+        bad = rng.standard_normal((tiny_mesh.n, 2))
+        assert sampled_stress(tiny_mesh, good, seed=2) < sampled_stress(
+            tiny_mesh, bad, seed=2
+        )
+
+    def test_optimal_scale_minimizes(self, rng):
+        e = rng.random(50) + 0.5
+        d = rng.random(50) + 0.5
+        a = optimal_scale(e, d)
+        w = 1.0 / d**2
+
+        def stress_at(alpha):
+            return float((w * (alpha * e - d) ** 2).sum())
+
+        assert stress_at(a) <= stress_at(a * 1.01)
+        assert stress_at(a) <= stress_at(a * 0.99)
+
+    def test_stress_from_distances_excludes_self(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0]])
+        D = np.array([[0.0, 1.0]])
+        val = stress_from_distances(coords, np.array([0]), D)
+        assert val == pytest.approx(0.0)
+
+    def test_disconnected_rejected(self):
+        from repro.graph import from_edges
+
+        g = from_edges(4, [0, 2], [1, 3])
+        with pytest.raises(ValueError, match="connected"):
+            sampled_stress(g, np.zeros((4, 2)), samples=2, seed=0)
+
+
+class TestPrincipalAngles:
+    def test_identical_subspaces(self, rng):
+        X = rng.standard_normal((40, 2))
+        # Any invertible recombination spans the same plane.
+        Y = X @ np.array([[2.0, 1.0], [0.0, 3.0]])
+        ang = principal_angles(X, Y)
+        # arccos amplifies rounding near 1, so the tolerance is loose.
+        np.testing.assert_allclose(ang, 0.0, atol=1e-6)
+
+    def test_orthogonal_subspaces(self):
+        n = 10
+        X = np.zeros((n, 1))
+        Y = np.zeros((n, 1))
+        X[0, 0] = 1.0
+        Y[1, 0] = 1.0
+        ang = principal_angles(X, Y)
+        assert ang[0] == pytest.approx(np.pi / 2)
+
+    def test_weighted_inner_product(self, rng):
+        d = rng.integers(1, 5, size=30).astype(float)
+        X = rng.standard_normal((30, 2))
+        ang = principal_angles(X, X.copy(), d)
+        np.testing.assert_allclose(ang, 0.0, atol=1e-6)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            principal_angles(rng.random((5, 2)), rng.random((6, 2)))
+
+
+class TestEdgeStats:
+    def test_good_layout_short_edges(self):
+        g = grid2d(10, 10)
+        ids = np.arange(100)
+        coords = np.column_stack([ids // 10, ids % 10]).astype(float)
+        stats = edge_length_stats(g, coords)
+        # Every edge has unit length in the natural embedding.
+        assert stats["max"] == pytest.approx(stats["median"])
+        assert stats["mean"] < 0.5  # short relative to the spread
+
+    def test_spread(self):
+        coords = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        assert spread(coords) == pytest.approx(1.0)
+
+    def test_empty_edges(self):
+        from repro.graph import from_edges
+
+        g = from_edges(3, [], [])
+        stats = edge_length_stats(g, np.zeros((3, 2)))
+        assert stats["mean"] == 0.0
+
+
+class TestRayleigh:
+    def test_cycle_exact_values(self):
+        g = cycle_graph(16)
+        # Exact degree-normalized eigenvectors: cos/sin of the angle.
+        t = 2 * np.pi * np.arange(16) / 16
+        coords = np.column_stack([np.cos(t), np.sin(t)])
+        rq = rayleigh_quotients(g, coords)
+        # x'Lx/x'Dx = lambda_L / degree = (2 - 2 cos(2 pi/n)) / 2.
+        expected = 1 - np.cos(2 * np.pi / 16)
+        np.testing.assert_allclose(rq, expected, atol=1e-9)
+
+    def test_nonnegative(self, tiny_mesh, rng):
+        coords = rng.standard_normal((tiny_mesh.n, 2))
+        assert np.all(rayleigh_quotients(tiny_mesh, coords) >= 0)

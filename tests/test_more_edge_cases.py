@@ -1,0 +1,115 @@
+"""Additional edge-case coverage across subsystems."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.core.stress_majorization import build_terms, stress_majorization
+from repro.graph import from_edges, from_networkx, grid2d
+from repro.partition import kmeans
+
+
+class TestInteropDirected:
+    def test_digraph_symmetrized(self):
+        G = nx.DiGraph()
+        G.add_edges_from([(0, 1), (1, 0), (1, 2)])
+        g = from_networkx(G)
+        # Direction ignored, reciprocal pair collapsed.
+        assert g.m == 2
+        assert g.has_edge(2, 1)
+
+    def test_self_loops_dropped(self):
+        G = nx.Graph()
+        G.add_edges_from([(0, 0), (0, 1)])
+        g = from_networkx(G)
+        assert g.m == 1
+
+
+class TestMajorizationWeighted:
+    def test_terms_use_weighted_distances(self, small_grid):
+        from repro.graph import random_integer_weights
+
+        g = random_integer_weights(small_grid, 3, 7, seed=0)
+        i, j, d = build_terms(g, pivots=0)
+        assert d.min() >= 3.0 and d.max() < 7.0
+
+    def test_majorization_on_weighted_graph(self, small_grid, rng):
+        from repro.graph import random_integer_weights
+
+        g = random_integer_weights(small_grid, 1, 5, seed=0)
+        res = stress_majorization(
+            g, rng.standard_normal((g.n, 2)), pivots=3, max_iter=20
+        )
+        assert np.all(np.isfinite(res.coords))
+        hist = np.array(res.stress_history)
+        assert hist[-1] <= hist[0]
+
+
+class TestKMeansDegenerate:
+    def test_duplicate_points(self):
+        X = np.zeros((10, 2))
+        X[5:] = 1.0
+        res = kmeans(X, 2, seed=0)
+        assert res.inertia < 1e-12
+        assert len(np.unique(res.labels)) == 2
+
+    def test_all_identical_points(self):
+        X = np.ones((8, 2))
+        res = kmeans(X, 3, seed=0)
+        # Empty clusters get re-seeded; labels still cover <= 3 values
+        # and nothing blows up.
+        assert res.labels.min() >= 0 and res.labels.max() <= 2
+
+
+class TestTraceAlphaVariants:
+    def test_infinite_alpha_stays_topdown(self, small_random):
+        from repro.bfs.trace import trace_bfs
+
+        _, traces = trace_bfs(small_random, 0, alpha=np.inf)
+        assert all(t.direction == "td" for t in traces)
+
+    def test_tiny_alpha_switches_early(self, small_random):
+        from repro.bfs.trace import trace_bfs
+
+        _, traces = trace_bfs(small_random, 0, alpha=0.5)
+        assert any(t.direction == "bu" for t in traces)
+
+
+class TestParhdeDims3:
+    def test_3d_subspace_orthonormal(self, tiny_mesh):
+        res = parhde(tiny_mesh, s=10, dims=3, seed=0)
+        d = tiny_mesh.weighted_degrees
+        np.testing.assert_allclose(res.coords.T @ d, 0.0, atol=1e-6)
+        assert res.eigenvalues[0] <= res.eigenvalues[1] <= res.eigenvalues[2]
+
+
+class TestEdgeListOfEmptyRows:
+    def test_isolated_vertices_everywhere(self):
+        g = from_edges(7, [2], [4])
+        u, v = g.edge_list()
+        assert (u.tolist(), v.tolist()) == ([2], [4])
+        from repro.graph import adjacency_gaps
+
+        assert len(adjacency_gaps(g)) == 0
+
+
+class TestSVGWeightedGraph:
+    def test_svg_on_weighted(self, small_grid, tmp_path, rng):
+        from repro.drawing import write_svg
+        from repro.graph import random_integer_weights
+
+        g = random_integer_weights(small_grid, 1, 5, seed=0)
+        write_svg(g, rng.random((g.n, 2)), tmp_path / "w.svg")
+        assert (tmp_path / "w.svg").read_text().count("<line") == g.m
+
+
+class TestSensitivityMetricBounds:
+    def test_speedup_bounded_by_cores(self):
+        from repro.parallel import BRIDGES_RSM, KernelCost, Ledger, sweep_parameter
+
+        led = Ledger()
+        with led.phase("P"):
+            led.add(KernelCost(work=1e9))
+        row = sweep_parameter(led, BRIDGES_RSM, "core_ops", p=28, metric="speedup")
+        assert all(v <= 28.0001 for v in row.values)

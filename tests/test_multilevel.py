@@ -1,0 +1,172 @@
+"""Tests for the multilevel coarsening framework and layout."""
+
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.graph import (
+    from_edges,
+    grid2d,
+    is_connected,
+    path_graph,
+    random_integer_weights,
+    star_graph,
+)
+from repro.metrics import principal_angles, sampled_stress
+from repro.multilevel import (
+    build_hierarchy,
+    coarsen,
+    contract,
+    heavy_edge_matching,
+    multilevel_layout,
+    prolong,
+)
+
+
+class TestMatching:
+    def test_is_matching(self, small_random):
+        match = heavy_edge_matching(small_random, seed=0)
+        # Involution: match[match[v]] == v.
+        np.testing.assert_array_equal(match[match], np.arange(small_random.n))
+
+    def test_matches_are_edges(self, small_random):
+        match = heavy_edge_matching(small_random, seed=0)
+        for v in range(small_random.n):
+            if match[v] != v:
+                assert small_random.has_edge(v, int(match[v]))
+
+    def test_heavy_edges_preferred(self):
+        # Star of 3 leaves with one heavy edge: the hub must pair with it.
+        g = from_edges(4, [0, 0, 0], [1, 2, 3], weights=[1.0, 9.0, 1.0])
+        match = heavy_edge_matching(g, seed=0)
+        hub = 0 if match[0] != 0 else int(np.flatnonzero(match != np.arange(4))[0])
+        # Whichever end initiated, 0-2 must be the matched pair.
+        assert {0, 2} <= set(np.flatnonzero(match != np.arange(4)).tolist()) or match[0] == 2
+
+    def test_matching_nontrivial(self, small_grid):
+        match = heavy_edge_matching(small_grid, seed=1)
+        matched = np.count_nonzero(match != np.arange(small_grid.n))
+        assert matched >= small_grid.n // 2  # maximal matching on a grid
+
+
+class TestContract:
+    def test_halves_path(self):
+        g = path_graph(16)
+        lvl = coarsen(g, seed=0)
+        assert lvl.graph.n < 16
+        assert is_connected(lvl.graph)
+        assert lvl.vertex_weights.sum() == 16
+
+    def test_mapping_consistency(self, small_random):
+        lvl = coarsen(small_random, seed=0)
+        assert lvl.mapping.min() == 0
+        assert lvl.mapping.max() == lvl.graph.n - 1
+        # Every coarse vertex absorbs 1 or 2 fine vertices (a matching).
+        assert set(np.unique(lvl.vertex_weights)) <= {1, 2}
+
+    def test_edge_weights_accumulate(self):
+        # Square 0-1-2-3; contract (0,1) and (2,3): the two cross edges
+        # (1,2) and (3,0) become one coarse edge of weight 2.
+        g = from_edges(4, [0, 1, 2, 3], [1, 2, 3, 0])
+        match = np.array([1, 0, 3, 2])
+        lvl = contract(g, match)
+        assert lvl.graph.n == 2
+        assert lvl.graph.m == 1
+        assert lvl.graph.weights[0] == 2.0
+
+    def test_preserves_connectivity(self, tiny_mesh):
+        lvl = coarsen(tiny_mesh, seed=0)
+        assert is_connected(lvl.graph)
+        lvl.graph.validate()
+
+    def test_weighted_input_conserves_weight(self, small_grid):
+        g = random_integer_weights(small_grid, 1, 5, seed=0)
+        match = heavy_edge_matching(g, seed=0)
+        lvl = contract(g, match)
+        lvl.graph.validate()
+        # Total edge weight is conserved minus the contracted matching.
+        matched_weight = 0.0
+        for v in range(g.n):
+            u = int(match[v])
+            if u > v:
+                i = int(np.searchsorted(g.neighbors(v), u))
+                matched_weight += float(g.edge_weights_of(v)[i])
+        fine_total = g.weights.sum() / 2
+        coarse_total = lvl.graph.weights.sum() / 2
+        assert coarse_total == pytest.approx(fine_total - matched_weight)
+
+    def test_bad_matching_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            contract(small_grid, np.zeros(3, dtype=np.int64))
+
+
+class TestHierarchy:
+    def test_reaches_min_size(self, tiny_mesh):
+        levels = build_hierarchy(tiny_mesh, min_size=50, seed=0)
+        assert levels
+        assert levels[-1].graph.n <= max(50, tiny_mesh.n // 2)
+        sizes = [lvl.graph.n for lvl in levels]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_stalls_on_star(self):
+        # A star has a maximum matching of one edge: coarsening stalls
+        # instead of looping forever.
+        g = star_graph(200)
+        levels = build_hierarchy(g, min_size=10, max_levels=50, seed=0)
+        assert len(levels) <= 50
+
+    def test_small_graph_no_levels(self):
+        g = path_graph(10)
+        assert build_hierarchy(g, min_size=64) == []
+
+
+class TestProlong:
+    def test_copies_representative_coords(self, small_grid):
+        lvl = coarsen(small_grid, seed=0)
+        rng = np.random.default_rng(0)
+        cc = rng.random((lvl.graph.n, 2))
+        fine = prolong(cc, lvl, jitter=0.0)
+        np.testing.assert_allclose(fine, cc[lvl.mapping])
+
+    def test_jitter_separates_pairs(self, small_grid):
+        lvl = coarsen(small_grid, seed=0)
+        cc = np.zeros((lvl.graph.n, 2))
+        fine = prolong(cc, lvl, jitter=1e-3, seed=1)
+        assert len(np.unique(fine[:, 0])) > lvl.graph.n / 2
+
+
+class TestMultilevelLayout:
+    def test_end_to_end_quality(self, tiny_mesh):
+        res = multilevel_layout(tiny_mesh, s=10, seed=0, refine_sweeps=20)
+        assert res.coords.shape == (tiny_mesh.n, 2)
+        assert np.all(np.isfinite(res.coords))
+        rng = np.random.default_rng(0)
+        rand = rng.standard_normal((tiny_mesh.n, 2))
+        assert sampled_stress(tiny_mesh, res.coords, seed=1) < 0.6 * sampled_stress(
+            tiny_mesh, rand, seed=1
+        )
+
+    def test_approximates_direct_layout(self, tiny_mesh):
+        ml = multilevel_layout(tiny_mesh, s=10, seed=0, refine_sweeps=40)
+        direct = parhde(tiny_mesh, s=10, seed=0)
+        ang = principal_angles(
+            ml.coords, direct.coords, tiny_mesh.weighted_degrees
+        )
+        assert ang[0] < 0.5
+
+    def test_phases_recorded(self, tiny_mesh):
+        res = multilevel_layout(tiny_mesh, s=8, seed=0)
+        phases = res.layout.ledger.phases()
+        assert "Coarsen" in phases
+        assert "Refine" in phases
+
+    def test_small_graph_degenerates_to_direct(self):
+        g = grid2d(5, 6)
+        res = multilevel_layout(g, s=6, seed=0, min_size=64)
+        assert res.depth == 0
+        assert res.coords.shape == (30, 2)
+
+    def test_hierarchy_metadata(self, tiny_mesh):
+        res = multilevel_layout(tiny_mesh, s=8, seed=0, min_size=40)
+        assert res.level_sizes() == res.layout.params["levels"]
+        assert res.depth == len(res.level_sizes())

@@ -1,0 +1,130 @@
+"""Tests for the extra oracles (sequential BFS, Bellman-Ford) and the
+landmark distance sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfs import bfs_distances, bfs_sequential
+from repro.graph import build_landmark_index, grid2d, random_integer_weights
+from repro.sssp import bellman_ford, delta_stepping, dijkstra
+
+from conftest import random_connected_graph
+
+
+class TestSequentialBFS:
+    def test_matches_parallel(self, small_random):
+        for src in (0, 17, 101):
+            ref, _ = bfs_distances(small_random, src)
+            np.testing.assert_array_equal(
+                bfs_sequential(small_random, src), ref
+            )
+
+    def test_unreachable(self):
+        from repro.graph import from_edges
+
+        g = from_edges(4, [0], [1])
+        dist = bfs_sequential(g, 0)
+        assert dist[2] == -1 and dist[3] == -1
+
+    def test_validation(self, small_grid):
+        with pytest.raises(ValueError):
+            bfs_sequential(small_grid, -1)
+
+
+class TestBellmanFord:
+    def test_matches_dijkstra_weighted(self, small_random):
+        g = random_integer_weights(small_random, 1, 16, seed=0)
+        ref = dijkstra(g, 3)
+        dist, rounds = bellman_ford(g, 3)
+        np.testing.assert_allclose(dist, ref)
+        assert 0 < rounds < g.n
+
+    def test_unweighted_rounds_equal_eccentricity(self, small_grid):
+        dist, rounds = bellman_ford(small_grid, 0)
+        ref, _ = bfs_distances(small_grid, 0)
+        np.testing.assert_allclose(dist, ref.astype(float))
+        assert rounds == ref.max()
+
+    def test_round_limit(self, path10):
+        dist, rounds = bellman_ford(path10, 0, max_rounds=3)
+        assert rounds == 3
+        assert dist[9] == np.inf  # not yet reached
+
+    def test_empty_graph(self):
+        from repro.graph import from_edges
+
+        dist, rounds = bellman_ford(from_edges(3, [], []), 0)
+        assert rounds == 0
+        assert np.isinf(dist[1])
+
+    def test_giant_delta_equals_bellman_rounds_flavour(self, small_grid):
+        """One huge bucket = Bellman-Ford-like repeated light phases."""
+        g = random_integer_weights(small_grid, 1, 8, seed=1)
+        _, bf_rounds = bellman_ford(g, 0)
+        _, stats = delta_stepping(g, 0, 1e12)
+        assert stats.buckets_processed == 1
+        # Inner light iterations track the BF round count.
+        assert abs(stats.inner_iterations - bf_rounds) <= 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 40), extra=st.integers(0, 60), seed=st.integers(0, 999))
+def test_three_oracles_agree_property(n, extra, seed):
+    g = random_connected_graph(n, extra, seed)
+    src = seed % n
+    a, _ = bfs_distances(g, src)
+    b = bfs_sequential(g, src)
+    c, _ = bellman_ford(g, src)
+    np.testing.assert_array_equal(a, b)
+    np.testing.assert_allclose(c, a.astype(float))
+
+
+class TestLandmarks:
+    @pytest.fixture(scope="class")
+    def index_and_truth(self):
+        g = grid2d(15, 15)
+        idx = build_landmark_index(g, s=8, seed=0)
+        truth = {}
+        for src in (0, 37, 224):
+            truth[src], _ = bfs_distances(g, src)
+        return g, idx, truth
+
+    def test_bounds_bracket_truth(self, index_and_truth):
+        g, idx, truth = index_and_truth
+        for src, dist in truth.items():
+            v = np.arange(g.n)
+            ub = idx.upper_bound(np.full(g.n, src), v)
+            lb = idx.lower_bound(np.full(g.n, src), v)
+            assert np.all(lb <= dist + 1e-9)
+            assert np.all(dist <= ub + 1e-9)
+
+    def test_exact_for_landmark_pairs(self, index_and_truth):
+        g, idx, truth = index_and_truth
+        lm = int(idx.landmarks[0])
+        dist, _ = bfs_distances(g, lm)
+        for v in (3, 80, 170):
+            assert idx.upper_bound(lm, v) == pytest.approx(float(dist[v]))
+            assert idx.lower_bound(lm, v) == pytest.approx(float(dist[v]))
+
+    def test_estimate_reasonable(self, index_and_truth):
+        g, idx, truth = index_and_truth
+        src = 37
+        est = idx.estimate(np.full(g.n, src), np.arange(g.n))
+        err = np.abs(est - truth[src])
+        # Farthest-first landmarks on a grid give tight sketches.
+        assert np.median(err) <= 2.0
+
+    def test_scalar_queries(self, index_and_truth):
+        _, idx, _ = index_and_truth
+        assert isinstance(idx.upper_bound(0, 5), float)
+        assert idx.upper_bound(4, 4) >= 0.0
+        assert idx.lower_bound(4, 4) == 0.0
+
+    def test_disconnected_rejected(self):
+        from repro.graph import from_edges
+
+        g = from_edges(4, [0, 2], [1, 3])
+        with pytest.raises(ValueError, match="connected"):
+            build_landmark_index(g, s=2)

@@ -1,0 +1,70 @@
+"""Tests for vertex ordering transforms."""
+
+import numpy as np
+
+from repro.graph import (
+    bfs_order,
+    bfs_relabel,
+    degree_sort_relabel,
+    from_edges,
+    grid2d,
+    random_permutation,
+    shuffle_vertices,
+    star_graph,
+)
+
+
+def test_random_permutation_is_permutation():
+    perm = random_permutation(100, seed=3)
+    np.testing.assert_array_equal(np.sort(perm), np.arange(100))
+
+
+def test_random_permutation_deterministic():
+    np.testing.assert_array_equal(
+        random_permutation(50, seed=9), random_permutation(50, seed=9)
+    )
+
+
+def test_shuffle_preserves_structure(small_random):
+    gs = shuffle_vertices(small_random, seed=2)
+    gs.validate()
+    assert gs.n == small_random.n
+    assert gs.m == small_random.m
+    assert sorted(gs.degrees.tolist()) == sorted(small_random.degrees.tolist())
+
+
+def test_bfs_order_visits_all(small_grid):
+    order = bfs_order(small_grid, 0)
+    np.testing.assert_array_equal(np.sort(order), np.arange(small_grid.n))
+
+
+def test_bfs_order_level_monotone(small_grid):
+    from repro.bfs import bfs_distances
+
+    order = bfs_order(small_grid, 0)
+    dist, _ = bfs_distances(small_grid, 0)
+    levels = dist[order]
+    assert np.all(np.diff(levels) >= 0)
+
+
+def test_bfs_order_disconnected_appends_rest():
+    g = from_edges(5, [0, 3], [1, 4])
+    order = bfs_order(g, 0)
+    assert order.tolist()[:2] == [0, 1]
+    assert set(order.tolist()) == set(range(5))
+
+
+def test_bfs_relabel_improves_locality_of_shuffled_grid():
+    from repro.graph import miss_rate
+
+    g = shuffle_vertices(grid2d(30, 30), seed=4)
+    improved = bfs_relabel(g, 0)
+    assert miss_rate(improved) < miss_rate(g)
+
+
+def test_degree_sort_hubs_first():
+    g = star_graph(10)
+    out = degree_sort_relabel(g)
+    assert out.degrees[0] == 9  # hub now vertex 0
+    out2 = degree_sort_relabel(g, descending=False)
+    assert out2.degrees[-1] == 9

@@ -1,0 +1,270 @@
+"""Tests for the cost ledger, machine model, and reports."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    BRIDGES_ESM,
+    BRIDGES_RSM,
+    KernelCost,
+    LAPTOP,
+    Ledger,
+    breakdown,
+    format_breakdown_table,
+    format_scaling_table,
+    phase_times,
+    scaling_table,
+    simulate_ledger,
+)
+
+
+class TestKernelCost:
+    def test_addition(self):
+        a = KernelCost(work=1, flops=2, depth=3, bytes_streamed=4, random_lines=5, regions=6)
+        b = KernelCost(work=10, flops=20, depth=30, bytes_streamed=40, random_lines=50, regions=60)
+        c = a + b
+        assert (c.work, c.flops, c.depth) == (11, 22, 33)
+        assert (c.bytes_streamed, c.random_lines, c.regions) == (44, 55, 66)
+
+    def test_sum_builtin(self):
+        costs = [KernelCost(work=i) for i in range(5)]
+        assert sum(costs).work == 10
+
+    def test_scaled(self):
+        c = KernelCost(work=4, regions=2).scaled(0.5)
+        assert c.work == 2 and c.regions == 1
+
+    def test_is_zero(self):
+        assert KernelCost().is_zero
+        assert not KernelCost(flops=1).is_zero
+
+
+class TestLedger:
+    def test_phase_attribution(self):
+        led = Ledger()
+        with led.phase("A"):
+            led.add(KernelCost(work=1))
+        with led.phase("B"):
+            led.add(KernelCost(work=2), subphase="x")
+            led.add(KernelCost(work=3), subphase="y")
+        assert led.phases() == ["A", "B"]
+        totals = led.phase_totals()
+        assert totals["A"].parallel.work == 1
+        assert totals["B"].parallel.work == 5
+        subs = led.subphase_totals("B")
+        assert subs["x"].parallel.work == 2
+        assert subs["y"].parallel.work == 3
+
+    def test_default_phase_is_other(self):
+        led = Ledger()
+        led.add(KernelCost(work=1))
+        assert led.phases() == ["Other"]
+
+    def test_zero_cost_not_recorded(self):
+        led = Ledger()
+        led.add(KernelCost())
+        assert len(led) == 0
+
+    def test_sequential_separation(self):
+        led = Ledger()
+        with led.phase("P"):
+            led.add(KernelCost(work=5), sequential=True)
+            led.add(KernelCost(work=7))
+        tot = led.total()
+        assert tot.sequential.work == 5
+        assert tot.parallel.work == 7
+
+    def test_merge(self):
+        a, b = Ledger(), Ledger()
+        with a.phase("P"):
+            a.add(KernelCost(work=1))
+        with b.phase("P"):
+            b.add(KernelCost(work=2))
+        a.merge(b)
+        assert a.phase_totals()["P"].parallel.work == 3
+
+    def test_nested_phases_become_subphases(self):
+        led = Ledger()
+        with led.phase("Outer"):
+            with led.phase("inner"):
+                led.add(KernelCost(work=1))
+        assert led.phases() == ["Outer"]
+        assert "inner" in led.subphase_totals("Outer")
+
+
+class TestMachineModel:
+    @pytest.mark.parametrize("machine", [BRIDGES_RSM, BRIDGES_ESM, LAPTOP])
+    def test_time_nonincreasing_in_p(self, machine):
+        cost = KernelCost(
+            work=1e9, flops=1e9, bytes_streamed=1e8, random_lines=1e6
+        )
+        times = [machine.time(cost, p) for p in range(1, machine.cores + 1)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.000001
+
+    def test_clamp(self):
+        assert BRIDGES_RSM.clamp(100) == 28
+        with pytest.raises(ValueError):
+            BRIDGES_RSM.clamp(0)
+
+    def test_pure_compute_scales_linearly(self):
+        cost = KernelCost(work=1e9)
+        t1 = BRIDGES_RSM.time(cost, 1)
+        t28 = BRIDGES_RSM.time(cost, 28)
+        assert t1 / t28 == pytest.approx(28, rel=1e-6)
+
+    def test_stream_saturates(self):
+        """The DOrtho mechanism: bandwidth flat beyond ~7 cores."""
+        cost = KernelCost(bytes_streamed=1e9)
+        t7 = BRIDGES_RSM.time(cost, 7)
+        t28 = BRIDGES_RSM.time(cost, 28)
+        assert t28 == pytest.approx(t7, rel=1e-9)
+        assert BRIDGES_RSM.time(cost, 1) / t7 == pytest.approx(7, rel=1e-6)
+
+    def test_depth_floor(self):
+        cost = KernelCost(work=1e6, depth=1e6)
+        # With depth == work, no speedup is possible.
+        assert BRIDGES_RSM.time(cost, 28) == pytest.approx(
+            BRIDGES_RSM.time(cost, 1)
+        )
+
+    def test_sync_grows_with_p(self):
+        cost = KernelCost(regions=1000)
+        assert BRIDGES_RSM.time(cost, 28) > BRIDGES_RSM.time(cost, 1)
+
+    def test_latency_term_near_linear(self):
+        cost = KernelCost(random_lines=1e8)
+        t1 = BRIDGES_RSM.time(cost, 1)
+        t28 = BRIDGES_RSM.time(cost, 28)
+        assert 20 < t1 / t28 <= 28.001
+
+    def test_sequential_charged_at_one_thread(self):
+        led = Ledger()
+        with led.phase("P"):
+            led.add(KernelCost(work=1e9), sequential=True)
+        assert simulate_ledger(led, BRIDGES_RSM, 28) == pytest.approx(
+            simulate_ledger(led, BRIDGES_RSM, 1)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    work=st.floats(0, 1e12),
+    flops=st.floats(0, 1e12),
+    streamed=st.floats(0, 1e12),
+    lines=st.floats(0, 1e10),
+    regions=st.integers(0, 10_000),
+    p=st.integers(1, 28),
+)
+def test_time_positive_and_finite(work, flops, streamed, lines, regions, p):
+    cost = KernelCost(
+        work=work, flops=flops, bytes_streamed=streamed,
+        random_lines=lines, regions=regions,
+    )
+    t = BRIDGES_RSM.time(cost, p)
+    assert t >= 0 and math.isfinite(t)
+
+
+class TestReports:
+    def _ledger(self):
+        led = Ledger()
+        with led.phase("BFS"):
+            led.add(KernelCost(work=1e8, regions=10))
+        with led.phase("DOrtho"):
+            led.add(KernelCost(bytes_streamed=1e8))
+        return led
+
+    def test_breakdown_percentages(self):
+        bd = breakdown(self._ledger(), BRIDGES_RSM, 28)
+        assert set(bd.seconds) == {"BFS", "DOrtho"}
+        assert sum(bd.percent.values()) == pytest.approx(100.0)
+
+    def test_phase_times_order(self):
+        ph = phase_times(self._ledger(), BRIDGES_RSM, 4)
+        assert list(ph) == ["BFS", "DOrtho"]
+
+    def test_scaling_table(self):
+        table = scaling_table(self._ledger(), BRIDGES_RSM, [1, 4, 28])
+        assert table[1] >= table[4] >= table[28]
+
+    def test_format_breakdown(self):
+        rows = {"g1": breakdown(self._ledger(), BRIDGES_RSM, 28)}
+        text = format_breakdown_table(rows)
+        assert "BFS" in text and "g1" in text and "%" in text
+
+    def test_format_scaling(self):
+        rows = {"g1": scaling_table(self._ledger(), BRIDGES_RSM, [1, 4])}
+        text = format_scaling_table(rows)
+        assert "p=4" in text and "x" in text
+        raw = format_scaling_table(rows, relative=False)
+        assert "p=1" in raw
+
+    def test_empty_tables(self):
+        assert format_breakdown_table({}) == "(empty)"
+        assert format_scaling_table({}) == "(empty)"
+
+
+class TestSensitivity:
+    def _ledger(self):
+        led = Ledger()
+        with led.phase("BFS"):
+            led.add(KernelCost(work=1e9, random_lines=1e7, regions=50))
+        with led.phase("DOrtho"):
+            led.add(KernelCost(bytes_streamed=5e8))
+        return led
+
+    def test_sweep_time_monotone_in_core_rate(self):
+        from repro.parallel import sweep_parameter
+
+        row = sweep_parameter(
+            self._ledger(), BRIDGES_RSM, "core_ops", p=28, metric="time"
+        )
+        # Faster cores, never slower overall.
+        assert list(row.values) == sorted(row.values, reverse=True)
+        assert row.spread > 1.0
+
+    def test_speedup_metric(self):
+        from repro.parallel import sweep_parameter
+
+        row = sweep_parameter(
+            self._ledger(), BRIDGES_RSM, "stream_bw_peak", p=28,
+            metric="speedup",
+        )
+        assert all(v >= 1.0 for v in row.values)
+
+    def test_report_covers_all_tunables(self):
+        from repro.parallel import sensitivity_report
+        from repro.parallel.sensitivity import TUNABLE
+
+        rows = sensitivity_report(self._ledger(), BRIDGES_RSM, p=28)
+        assert set(rows) == set(TUNABLE)
+
+    def test_format(self):
+        from repro.parallel import format_sensitivity, sensitivity_report
+
+        rows = sensitivity_report(
+            self._ledger(), BRIDGES_RSM, p=28, parameters=("mlp",)
+        )
+        text = format_sensitivity(rows)
+        assert "mlp" in text and "spread" in text
+        from repro.parallel.sensitivity import format_sensitivity as f2
+
+        assert f2({}) == "(empty)"
+
+    def test_unknown_parameter(self):
+        from repro.parallel import sweep_parameter
+
+        with pytest.raises(ValueError, match="unknown tunable"):
+            sweep_parameter(self._ledger(), BRIDGES_RSM, "cores", p=4)
+
+    def test_unknown_metric(self):
+        from repro.parallel import sweep_parameter
+
+        with pytest.raises(ValueError, match="metric"):
+            sweep_parameter(
+                self._ledger(), BRIDGES_RSM, "mlp", p=4, metric="joules"
+            )

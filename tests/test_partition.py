@@ -1,0 +1,180 @@
+"""Tests for the partitioning subsystem (section 4.5.4)."""
+
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.graph import from_edges, grid2d, random_integer_weights
+from repro.partition import (
+    balance,
+    boundary_vertices,
+    conductance,
+    coordinate_band,
+    coordinate_bisection,
+    cut_fraction,
+    edge_cut,
+    fm_refine,
+    median_split,
+    part_sizes,
+    spectral_bisection,
+)
+
+
+class TestMetrics:
+    def test_edge_cut_counts(self):
+        g = from_edges(4, [0, 1, 2], [1, 2, 3])  # path
+        assert edge_cut(g, np.array([0, 0, 1, 1])) == 1.0
+        assert edge_cut(g, np.array([0, 1, 0, 1])) == 3.0
+        assert edge_cut(g, np.zeros(4, dtype=np.int64)) == 0.0
+
+    def test_edge_cut_weighted(self):
+        g = from_edges(3, [0, 1], [1, 2], weights=[5.0, 2.0])
+        assert edge_cut(g, np.array([0, 1, 1])) == 5.0
+        assert edge_cut(g, np.array([0, 0, 1])) == 2.0
+
+    def test_cut_fraction(self, small_grid):
+        parts = np.zeros(small_grid.n, dtype=np.int64)
+        parts[: small_grid.n // 2] = 1
+        assert 0 < cut_fraction(small_grid, parts) < 1
+
+    def test_balance_and_sizes(self):
+        parts = np.array([0, 0, 0, 1])
+        np.testing.assert_array_equal(part_sizes(parts), [3, 1])
+        assert balance(parts) == pytest.approx(1.5)
+        assert balance(np.array([0, 1, 0, 1])) == 1.0
+
+    def test_conductance_bounds(self, small_grid):
+        parts = median_split(np.arange(small_grid.n, dtype=float))
+        c = conductance(small_grid, parts)
+        assert 0 <= c <= 1
+
+    def test_length_mismatch(self, small_grid):
+        with pytest.raises(ValueError):
+            edge_cut(small_grid, np.zeros(3, dtype=np.int64))
+
+
+class TestGeometric:
+    def test_grid_natural_cut(self):
+        g = grid2d(16, 16)
+        ids = np.arange(g.n)
+        coords = np.column_stack([ids // 16, ids % 16]).astype(float)
+        parts = coordinate_bisection(g, coords, 2)
+        # Perfect balance and the minimal straight cut (16 edges).
+        assert balance(parts, 2) == 1.0
+        assert edge_cut(g, parts) == 16.0
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 7])
+    def test_kway_balance(self, tiny_mesh, k):
+        res = parhde(tiny_mesh, s=10, seed=0)
+        parts = coordinate_bisection(tiny_mesh, res.coords, k)
+        assert len(np.unique(parts)) == k
+        assert balance(parts, k) < 1.1
+
+    def test_k_one(self, small_grid):
+        parts = coordinate_bisection(small_grid, np.zeros((small_grid.n, 2)), 1)
+        assert np.all(parts == 0)
+
+    def test_validation(self, small_grid):
+        with pytest.raises(ValueError):
+            coordinate_bisection(small_grid, np.zeros((3, 2)), 2)
+        with pytest.raises(ValueError):
+            coordinate_bisection(small_grid, np.zeros((small_grid.n, 2)), 0)
+
+    def test_layout_cut_beats_random_assignment(self, tiny_mesh):
+        res = parhde(tiny_mesh, s=10, seed=0)
+        parts = coordinate_bisection(tiny_mesh, res.coords, 2)
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 2, size=tiny_mesh.n)
+        assert edge_cut(tiny_mesh, parts) < 0.5 * edge_cut(tiny_mesh, rand)
+
+
+class TestSpectral:
+    def test_median_split_balanced(self, rng):
+        parts = median_split(rng.random(101))
+        assert abs(int(part_sizes(parts)[0]) - 50) <= 1
+
+    def test_grid_spectral_cut_quality(self):
+        g = grid2d(12, 24)  # elongated: the best cut crosses the short side
+        parts = spectral_bisection(g, s=12, seed=0)
+        assert balance(parts, 2) == 1.0
+        # Near-optimal: the minimum balanced cut is 12.
+        assert edge_cut(g, parts) <= 30
+
+    def test_reuses_coords(self, tiny_mesh):
+        res = parhde(tiny_mesh, s=10, seed=0)
+        a = spectral_bisection(tiny_mesh, coords=res.coords)
+        b = spectral_bisection(tiny_mesh, coords=res.coords)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFM:
+    def test_improves_bad_partition(self, small_grid):
+        rng = np.random.default_rng(1)
+        parts = rng.integers(0, 2, size=small_grid.n)
+        # Make it balanced enough to be a legal starting point.
+        refined, stats = fm_refine(small_grid, parts, max_passes=10)
+        assert stats.cut_after <= stats.cut_before
+        assert stats.improvement > 0
+        assert balance(refined, 2) < 1.2
+
+    def test_optimal_cut_untouched(self):
+        g = grid2d(8, 16)
+        ids = np.arange(g.n)
+        parts = (ids % 16 >= 8).astype(np.int64)  # minimal straight cut
+        refined, stats = fm_refine(g, parts)
+        assert stats.cut_after <= stats.cut_before == 8.0
+
+    def test_respects_balance(self, small_grid):
+        parts = median_split(np.arange(small_grid.n, dtype=float))
+        refined, _ = fm_refine(small_grid, parts, balance_tol=0.02)
+        sizes = part_sizes(refined, 2)
+        assert sizes.min() >= int(0.48 * small_grid.n) - 1
+
+    def test_weighted_graph(self, small_grid):
+        g = random_integer_weights(small_grid, 1, 9, seed=0)
+        rng = np.random.default_rng(2)
+        parts = rng.integers(0, 2, size=g.n)
+        refined, stats = fm_refine(g, parts)
+        assert stats.cut_after <= stats.cut_before
+
+    def test_rejects_multiway(self, small_grid):
+        with pytest.raises(ValueError, match="bipartition"):
+            fm_refine(small_grid, np.arange(small_grid.n) % 3)
+
+    def test_candidate_restriction_reduces_work(self, tiny_mesh):
+        res = parhde(tiny_mesh, s=10, seed=0)
+        parts = median_split(res.coords[:, 0])
+        full, full_stats = fm_refine(tiny_mesh, parts, max_passes=3)
+        band = coordinate_band(res.coords, parts, frac=0.25)
+        restricted, band_stats = fm_refine(
+            tiny_mesh, parts, candidates=band, max_passes=3
+        )
+        # The section 4.5.4 claim: far less gain-maintenance work...
+        assert band_stats.gain_updates < 0.6 * full_stats.gain_updates
+        # ...at comparable quality.
+        assert band_stats.cut_after <= full_stats.cut_after * 1.3 + 2
+
+
+class TestHelpers:
+    def test_boundary_vertices(self):
+        g = from_edges(4, [0, 1, 2], [1, 2, 3])
+        parts = np.array([0, 0, 1, 1])
+        np.testing.assert_array_equal(boundary_vertices(g, parts), [1, 2])
+
+    def test_coordinate_band_size(self, rng):
+        coords = rng.random((100, 2))
+        parts = median_split(coords[:, 0])
+        band = coordinate_band(coords, parts, frac=0.3)
+        assert len(band) == 30
+
+    def test_coordinate_band_near_cut(self):
+        coords = np.column_stack([np.arange(100.0), np.zeros(100)])
+        parts = median_split(coords[:, 0])
+        band = coordinate_band(coords, parts, frac=0.1)
+        # The ten vertices nearest the midpoint straddle the cut.
+        assert set(band.tolist()) == set(range(45, 55))
+
+    def test_band_validation(self, rng):
+        coords = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            coordinate_band(coords, median_split(coords[:, 0]), frac=0.0)

@@ -1,0 +1,123 @@
+"""Tests for PHDE (PCA-based HDE) and PivotMDS."""
+
+import numpy as np
+import pytest
+
+from repro import phde, pivotmds
+from repro.core.pivotmds import double_center
+from repro.graph import from_edges
+from repro.parallel import BRIDGES_RSM
+
+
+class TestPHDE:
+    def test_shapes_and_finite(self, tiny_mesh):
+        res = phde(tiny_mesh, s=10, seed=0)
+        assert res.coords.shape == (tiny_mesh.n, 2)
+        assert np.all(np.isfinite(res.coords))
+        assert res.algorithm == "phde"
+
+    def test_is_pca_of_distance_matrix(self, tiny_mesh):
+        """PHDE == projection of the centered matrix onto its top-2 PCs."""
+        res = phde(tiny_mesh, s=10, seed=0)
+        C = res.B - res.B.mean(axis=0)
+        _, _, vt = np.linalg.svd(C, full_matrices=False)
+        ref = C @ vt[:2].T
+        for k in range(2):
+            # Eigenvector signs are arbitrary.
+            got = res.coords[:, k]
+            assert min(
+                np.abs(got - ref[:, k]).max(), np.abs(got + ref[:, k]).max()
+            ) < 1e-6
+
+    def test_columns_centered(self, tiny_mesh):
+        res = phde(tiny_mesh, s=10, seed=0)
+        # S holds the centered matrix C for PHDE.
+        np.testing.assert_allclose(res.S.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_maximizes_scatter(self, tiny_mesh):
+        """The PCA axes carry more variance than random projections."""
+        res = phde(tiny_mesh, s=10, seed=0)
+        rng = np.random.default_rng(1)
+        C = res.S
+        pca_var = res.coords.var(axis=0).sum()
+        rand_dirs = np.linalg.qr(rng.standard_normal((C.shape[1], 2)))[0]
+        rand_var = (C @ rand_dirs).var(axis=0).sum()
+        assert pca_var >= rand_var
+
+    def test_phases(self, tiny_mesh):
+        res = phde(tiny_mesh, s=10, seed=0)
+        ph = res.phase_seconds(BRIDGES_RSM, 28)
+        assert set(ph) == {"BFS", "ColCenter", "MatMul", "Other"}
+
+    def test_deterministic(self, tiny_mesh):
+        np.testing.assert_array_equal(
+            phde(tiny_mesh, s=6, seed=4).coords,
+            phde(tiny_mesh, s=6, seed=4).coords,
+        )
+
+    def test_disconnected_rejected(self):
+        g = from_edges(6, [0, 1, 3, 4], [1, 2, 4, 5])
+        with pytest.raises(ValueError, match="connected"):
+            phde(g, s=3)
+
+
+class TestDoubleCenter:
+    def test_row_and_column_sums_zero(self, rng):
+        B = rng.integers(0, 9, size=(40, 5)).astype(float)
+        C = double_center(B)
+        np.testing.assert_allclose(C.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(C.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_formula(self, rng):
+        B = rng.random((10, 3)) * 5
+        C = double_center(B)
+        D2 = B * B
+        expected = -0.5 * (
+            D2
+            - D2.mean(axis=1, keepdims=True)
+            - D2.mean(axis=0, keepdims=True)
+            + D2.mean()
+        )
+        np.testing.assert_allclose(C, expected)
+
+    def test_recovers_euclidean_configuration(self, rng):
+        """Classical MDS sanity: exact distances -> exact inner products.
+
+        With points in R^2 and columns = all points, the doubly centered
+        squared-distance matrix equals the centered Gram matrix.
+        """
+        pts = rng.random((30, 2))
+        D = np.sqrt(((pts[:, None, :] - pts[None, :, :]) ** 2).sum(-1))
+        C = double_center(D)
+        centered = pts - pts.mean(axis=0)
+        np.testing.assert_allclose(C, centered @ centered.T, atol=1e-9)
+
+
+class TestPivotMDS:
+    def test_shapes_and_phases(self, tiny_mesh):
+        res = pivotmds(tiny_mesh, s=10, seed=0)
+        assert res.coords.shape == (tiny_mesh.n, 2)
+        assert np.all(np.isfinite(res.coords))
+        ph = res.phase_seconds(BRIDGES_RSM, 28)
+        assert set(ph) == {"BFS", "DblCntr", "MatMul", "Other"}
+
+    def test_mesh_layout_spreads_both_axes(self, tiny_mesh):
+        # A 2D mesh must not collapse to a line.
+        res = pivotmds(tiny_mesh, s=10, seed=0)
+        var = res.coords.var(axis=0)
+        assert var.min() > 0.01 * var.max()
+
+    def test_deterministic(self, tiny_mesh):
+        np.testing.assert_array_equal(
+            pivotmds(tiny_mesh, s=6, seed=4).coords,
+            pivotmds(tiny_mesh, s=6, seed=4).coords,
+        )
+
+    def test_similar_global_structure_to_phde(self, tiny_mesh):
+        """Computationally siblings (section 3.2): layouts correlate."""
+        from repro.metrics import principal_angles
+
+        a = phde(tiny_mesh, s=12, seed=0)
+        b = pivotmds(tiny_mesh, s=12, seed=0)
+        ang = principal_angles(a.coords, b.coords)
+        assert ang[0] < 0.3

@@ -1,0 +1,91 @@
+"""Tests for pivot selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import bfs_distances
+from repro.core.pivots import random_pivots, select_and_traverse
+from repro.parallel import Ledger
+
+
+class TestKCenters:
+    def test_farthest_first_property(self, small_grid):
+        res = select_and_traverse(small_grid, 3, strategy="kcenters", seed=0)
+        d0, _ = bfs_distances(small_grid, int(res.sources[0]))
+        # Second pivot is a vertex at maximum distance from the first.
+        assert d0[res.sources[1]] == d0.max()
+
+    def test_pivots_distinct(self, small_random):
+        res = select_and_traverse(small_random, 8, strategy="kcenters", seed=1)
+        assert len(np.unique(res.sources)) == 8
+
+    def test_distance_columns_correct(self, small_grid):
+        res = select_and_traverse(small_grid, 4, strategy="kcenters", seed=2)
+        for i, src in enumerate(res.sources):
+            ref, _ = bfs_distances(small_grid, int(src))
+            np.testing.assert_allclose(res.distances[:, i], ref.astype(float))
+
+    def test_covers_extremes_of_path(self, path10):
+        res = select_and_traverse(path10, 3, strategy="kcenters", seed=0)
+        # Farthest-first on a path must pick both endpoints among the
+        # first pivots after the random start.
+        assert 0 in res.sources[:3] or 9 in res.sources[:3]
+
+    def test_ledger_has_overhead_subphase(self, small_grid):
+        led = Ledger()
+        with led.phase("BFS"):
+            select_and_traverse(small_grid, 3, seed=0, ledger=led)
+        subs = led.subphase_totals("BFS")
+        assert "traversal" in subs and "overhead" in subs
+
+    def test_weighted_traversals(self, small_grid):
+        from repro.graph import random_integer_weights
+
+        g = random_integer_weights(small_grid, 1, 9, seed=0)
+        res = select_and_traverse(g, 3, seed=0, weighted=True)
+        assert np.all(np.isfinite(res.distances))
+        from repro.sssp import dijkstra
+
+        ref = dijkstra(g, int(res.sources[0]))
+        np.testing.assert_allclose(res.distances[:, 0], ref)
+
+
+class TestRandomPivots:
+    def test_distinct_and_deterministic(self, small_random):
+        a = random_pivots(small_random, 10, seed=4)
+        b = random_pivots(small_random, 10, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert len(np.unique(a)) == 10
+
+    def test_too_many_rejected(self, path10):
+        with pytest.raises(ValueError):
+            random_pivots(path10, 11)
+
+    def test_strategies_same_distances(self, small_random):
+        r1 = select_and_traverse(small_random, 5, strategy="random", seed=7)
+        r2 = select_and_traverse(
+            small_random, 5, strategy="random-concurrent", seed=7
+        )
+        np.testing.assert_array_equal(r1.sources, r2.sources)
+        np.testing.assert_allclose(r1.distances, r2.distances)
+
+    def test_concurrent_weighted_rejected(self, small_grid):
+        from repro.graph import unit_weights
+
+        g = unit_weights(small_grid)
+        with pytest.raises(ValueError, match="unweighted"):
+            select_and_traverse(
+                g, 3, strategy="random-concurrent", weighted=True
+            )
+
+
+class TestValidation:
+    def test_unknown_strategy(self, small_grid):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            select_and_traverse(small_grid, 3, strategy="magic")
+
+    def test_bad_s(self, small_grid):
+        with pytest.raises(ValueError):
+            select_and_traverse(small_grid, 0)
+        with pytest.raises(ValueError):
+            select_and_traverse(small_grid, small_grid.n + 1)

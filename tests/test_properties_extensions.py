@@ -1,0 +1,126 @@
+"""Hypothesis property tests for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import is_connected, random_integer_weights
+from repro.multilevel import coarsen
+from repro.partition import balance, coordinate_bisection, edge_cut, fm_refine
+
+from conftest import random_connected_graph
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 50),
+    extra=st.integers(0, 60),
+    seed=st.integers(0, 9999),
+    k=st.integers(1, 5),
+)
+def test_coordinate_bisection_properties(n, extra, seed, k):
+    """Property: any coordinates yield a full, near-balanced partition."""
+    g = random_connected_graph(n, extra, seed)
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    coords = rng.standard_normal((n, 2))
+    parts = coordinate_bisection(g, coords, k)
+    assert parts.min() >= 0 and parts.max() == k - 1
+    assert len(np.unique(parts)) == k
+    sizes = np.bincount(parts, minlength=k)
+    assert sizes.max() - sizes.min() <= max(2, k)  # proportional splits
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(6, 40),
+    extra=st.integers(5, 60),
+    seed=st.integers(0, 9999),
+)
+def test_fm_never_worsens_cut(n, extra, seed):
+    """Property: FM refinement never increases the cut."""
+    g = random_connected_graph(n, extra, seed)
+    rng = np.random.default_rng(seed)
+    parts = rng.integers(0, 2, size=n)
+    refined, stats = fm_refine(g, parts, max_passes=3, balance_tol=0.3)
+    assert stats.cut_after <= stats.cut_before + 1e-9
+    assert edge_cut(g, refined) == pytest.approx(stats.cut_after)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(4, 60),
+    extra=st.integers(0, 80),
+    seed=st.integers(0, 9999),
+    weighted=st.booleans(),
+)
+def test_coarsening_invariants(n, extra, seed, weighted):
+    """Property: contraction preserves connectivity and absorbs all mass."""
+    g = random_connected_graph(n, extra, seed)
+    if weighted:
+        g = random_integer_weights(g, 1, 9, seed=seed)
+    lvl = coarsen(g, seed=seed)
+    lvl.graph.validate()
+    assert is_connected(lvl.graph)
+    assert lvl.vertex_weights.sum() == n
+    assert lvl.graph.n <= n
+    # Mapping is onto the coarse id range.
+    assert set(np.unique(lvl.mapping)) == set(range(lvl.graph.n))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(6, 30),
+    extra=st.integers(3, 40),
+    seed=st.integers(0, 999),
+)
+def test_stress_majorization_monotone_property(n, extra, seed):
+    """Property: the majorizer's objective never increases."""
+    from repro.core.stress_majorization import stress_majorization
+
+    g = random_connected_graph(n, extra, seed)
+    rng = np.random.default_rng(seed)
+    res = stress_majorization(
+        g, rng.standard_normal((n, 2)), pivots=2, max_iter=12, tol=0.0,
+        seed=seed,
+    )
+    hist = np.array(res.stress_history)
+    assert np.all(np.diff(hist) <= 1e-9 * max(hist[0], 1.0))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(8, 30),
+    extra=st.integers(4, 40),
+    seed=st.integers(0, 999),
+)
+def test_lobpcg_matches_dense_property(n, extra, seed):
+    """Property: LOBPCG finds the true smallest generalized eigenvalue."""
+    from repro.linalg import lobpcg
+
+    g = random_connected_graph(n, extra, seed)
+    res = lobpcg(g, 1, tol=1e-9, max_iter=300, seed=seed)
+    A = np.zeros((n, n))
+    for v in range(n):
+        A[v, g.neighbors(v)] = 1.0
+    d = A.sum(axis=1)
+    Dm = np.diag(1.0 / np.sqrt(d))
+    ref = np.sort(np.linalg.eigvalsh(Dm @ (np.diag(d) - A) @ Dm))
+    np.testing.assert_allclose(res.eigenvalues[0], ref[1], atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 50),
+    extra=st.integers(0, 60),
+    seed=st.integers(0, 9999),
+)
+def test_bfs_parents_property(n, extra, seed):
+    """Property: the recovered parent array is always a valid BFS tree."""
+    from repro.bfs import bfs_parents, validate_bfs_tree
+
+    g = random_connected_graph(n, extra, seed)
+    src = seed % n
+    dist, parent, _ = bfs_parents(g, src)
+    validate_bfs_tree(g, src, dist, parent)

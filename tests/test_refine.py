@@ -1,0 +1,59 @@
+"""Tests for weighted-centroid refinement (section 4.5.3)."""
+
+import numpy as np
+import pytest
+
+from repro import parhde, refine
+from repro.core.refine import centroid_sweep, residual
+
+
+def test_residual_zero_for_exact_eigenvectors(tiny_mesh):
+    from repro.baselines import spectral_layout
+
+    exact = spectral_layout(tiny_mesh, 2, tol=1e-12, seed=0)
+    assert residual(tiny_mesh, exact.coords) < 1e-5
+
+
+def test_refine_reduces_residual(tiny_mesh):
+    hde = parhde(tiny_mesh, s=10, seed=0)
+    before = residual(tiny_mesh, hde.coords)
+    out = refine(tiny_mesh, hde.coords, tol=1e-5, max_sweeps=500)
+    assert out.residual < before
+    assert out.sweeps > 0
+
+
+def test_refine_converges_toward_spectral(tiny_mesh):
+    from repro.baselines import spectral_layout
+    from repro.metrics import principal_angles
+
+    hde = parhde(tiny_mesh, s=10, seed=0)
+    out = refine(tiny_mesh, hde.coords, tol=1e-8, max_sweeps=3000)
+    exact = spectral_layout(tiny_mesh, 2, tol=1e-10, seed=0)
+    ang = principal_angles(out.coords, exact.coords, tiny_mesh.weighted_degrees)
+    assert ang[0] < 0.05
+
+
+def test_hde_warm_start_cheaper_than_random(tiny_mesh):
+    """The 4.5.3 claim: HDE start needs far fewer sweeps than random."""
+    rng = np.random.default_rng(0)
+    hde = parhde(tiny_mesh, s=10, seed=0)
+    warm = refine(tiny_mesh, hde.coords, tol=1e-4, max_sweeps=5000)
+    cold = refine(
+        tiny_mesh, rng.standard_normal((tiny_mesh.n, 2)), tol=1e-4,
+        max_sweeps=5000,
+    )
+    assert warm.sweeps < cold.sweeps
+
+
+def test_sweep_keeps_d_orthonormal(tiny_mesh):
+    hde = parhde(tiny_mesh, s=8, seed=0)
+    out = centroid_sweep(tiny_mesh, hde.coords)
+    d = tiny_mesh.weighted_degrees
+    G = out.T @ (d[:, None] * out)
+    np.testing.assert_allclose(G, np.eye(2), atol=1e-9)
+    np.testing.assert_allclose(out.T @ d, 0.0, atol=1e-9)
+
+
+def test_sweep_shape_validation(tiny_mesh):
+    with pytest.raises(ValueError):
+        centroid_sweep(tiny_mesh, np.ones((3, 2)))

@@ -1,0 +1,151 @@
+"""Tests for Delta-stepping SSSP against Dijkstra and BFS oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfs import bfs_distances
+from repro.graph import (
+    from_edges,
+    random_integer_weights,
+    random_real_weights,
+    unit_weights,
+)
+from repro.parallel import Ledger
+from repro.sssp import LazyBuckets, delta_stepping, dijkstra, suggest_delta
+
+from conftest import random_connected_graph
+
+
+class TestDijkstra:
+    def test_unweighted_equals_bfs(self, small_random):
+        ref, _ = bfs_distances(small_random, 3)
+        np.testing.assert_allclose(dijkstra(small_random, 3), ref.astype(float))
+
+    def test_weighted_hand_example(self):
+        #    0 --1-- 1 --1-- 2
+        #     \------5------/
+        g = from_edges(3, [0, 1, 0], [1, 2, 2], weights=[1.0, 1.0, 5.0])
+        np.testing.assert_allclose(dijkstra(g, 0), [0.0, 1.0, 2.0])
+
+    def test_unreachable_inf(self):
+        g = from_edges(3, [0], [1])
+        d = dijkstra(g, 0)
+        assert np.isinf(d[2])
+
+    def test_bad_source(self, path10):
+        with pytest.raises(ValueError):
+            dijkstra(path10, -1)
+
+
+class TestDeltaStepping:
+    @pytest.mark.parametrize("delta", [0.5, 1.0, 4.0, 100.0])
+    def test_matches_dijkstra_integer_weights(self, small_random, delta):
+        g = random_integer_weights(small_random, 1, 16, seed=1)
+        ref = dijkstra(g, 0)
+        got, stats = delta_stepping(g, 0, delta)
+        np.testing.assert_allclose(got, ref)
+        assert stats.relaxations > 0
+
+    def test_matches_dijkstra_real_weights(self, small_random):
+        g = random_real_weights(small_random, seed=3)
+        ref = dijkstra(g, 7)
+        got, _ = delta_stepping(g, 7)
+        np.testing.assert_allclose(got, ref)
+
+    def test_unit_weights_equal_bfs(self, small_grid):
+        g = unit_weights(small_grid)
+        ref, _ = bfs_distances(small_grid, 0)
+        got, stats = delta_stepping(g, 0, 1.0)
+        np.testing.assert_allclose(got, ref.astype(float))
+        # delta = 1 with unit weights degenerates to level-synchronous BFS
+        assert stats.buckets_processed == int(ref.max()) + 1
+
+    def test_unweighted_graph_unit_semantics(self, small_grid):
+        ref, _ = bfs_distances(small_grid, 5)
+        got, _ = delta_stepping(small_grid, 5, 1.0)
+        np.testing.assert_allclose(got, ref.astype(float))
+
+    def test_unreachable_inf(self):
+        g = from_edges(4, [0, 2], [1, 3], weights=[1.0, 1.0])
+        d, _ = delta_stepping(g, 0)
+        assert np.isinf(d[2]) and np.isinf(d[3])
+
+    def test_delta_affects_bucket_count(self, small_random):
+        g = random_integer_weights(small_random, 1, 64, seed=2)
+        _, s_small = delta_stepping(g, 0, 4.0)
+        _, s_big = delta_stepping(g, 0, 1000.0)
+        assert s_small.buckets_processed > s_big.buckets_processed
+
+    def test_small_delta_more_rounds_fewer_wasted_relaxations(self, small_random):
+        g = random_integer_weights(small_random, 1, 64, seed=2)
+        _, s_small = delta_stepping(g, 0, 2.0)
+        _, s_big = delta_stepping(g, 0, 1e9)
+        # One giant bucket behaves like Bellman-Ford rounds: many repeats.
+        assert s_big.relaxations >= s_small.relaxations * 0.5  # sanity
+        assert s_big.inner_iterations < s_small.inner_iterations
+
+    def test_ledger_costs_recorded(self, small_random):
+        g = random_integer_weights(small_random, 1, 8, seed=0)
+        led = Ledger()
+        with led.phase("SSSP"):
+            delta_stepping(g, 0, 4.0, ledger=led)
+        tot = led.total().parallel
+        assert tot.work > 0 and tot.regions > 0
+
+    def test_invalid_args(self, small_grid):
+        with pytest.raises(ValueError):
+            delta_stepping(small_grid, 0, -1.0)
+        with pytest.raises(ValueError):
+            delta_stepping(small_grid, small_grid.n)
+
+    def test_suggest_delta(self, small_random):
+        assert suggest_delta(small_random) == 1.0
+        g = random_integer_weights(small_random, 1, 100, seed=0)
+        d = suggest_delta(g)
+        assert 0 < d < 100
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    extra=st.integers(0, 80),
+    seed=st.integers(0, 9999),
+    delta=st.sampled_from([0.3, 1.0, 7.0, 1e6]),
+)
+def test_delta_stepping_property(n, extra, seed, delta):
+    """Property: Delta-stepping equals Dijkstra for any delta."""
+    g = random_connected_graph(n, extra, seed)
+    g = random_integer_weights(g, 1, 32, seed=seed)
+    src = seed % n
+    np.testing.assert_allclose(
+        delta_stepping(g, src, delta)[0], dijkstra(g, src)
+    )
+
+
+class TestLazyBuckets:
+    def test_pop_and_reinsertion(self):
+        dist = np.array([0.0, 0.5, 1.5, np.inf])
+        b = LazyBuckets(dist, 1.0)
+        np.testing.assert_array_equal(b.pop(0), [0, 1])
+        assert len(b.pop(0)) == 0  # already processed
+        dist[1] = 0.2  # improvement -> active again
+        np.testing.assert_array_equal(b.pop(0), [1])
+
+    def test_next_nonempty(self):
+        dist = np.array([np.inf, 3.7, np.inf])
+        b = LazyBuckets(dist, 1.0)
+        assert b.next_nonempty(0) == 3
+        b.pop(3)
+        assert b.next_nonempty(4) == -1
+
+    def test_bucket_index(self):
+        b = LazyBuckets(np.zeros(1), 2.0)
+        np.testing.assert_array_equal(
+            b.bucket_index(np.array([0.0, 1.9, 2.0, 5.0])), [0, 0, 1, 2]
+        )
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            LazyBuckets(np.zeros(3), 0.0)

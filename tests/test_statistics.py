@@ -1,0 +1,89 @@
+"""Tests for the graph characterization statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    clustering_coefficient,
+    complete_graph,
+    cycle_graph,
+    degree_statistics,
+    format_stats_table,
+    from_edges,
+    graph_stats,
+    grid2d,
+    path_graph,
+    star_graph,
+)
+
+
+class TestDegreeStatistics:
+    def test_regular_graph(self):
+        stats = degree_statistics(cycle_graph(10))
+        assert stats["mean"] == 2.0
+        assert stats["max"] == 2.0
+        assert stats["skew"] == 1.0
+
+    def test_star_skew(self):
+        stats = degree_statistics(star_graph(11))
+        assert stats["max"] == 10
+        assert stats["skew"] == pytest.approx(10 / (20 / 11))
+
+    def test_empty(self):
+        stats = degree_statistics(from_edges(0, [], []))
+        assert stats["mean"] == 0.0
+
+
+class TestClusteringCoefficient:
+    def test_complete_graph_is_one(self):
+        assert clustering_coefficient(complete_graph(8)) == pytest.approx(1.0)
+
+    def test_tree_is_zero(self):
+        from repro.graph import binary_tree
+
+        assert clustering_coefficient(binary_tree(4)) == 0.0
+
+    def test_grid_is_zero(self):
+        # 4-point grids have no triangles.
+        assert clustering_coefficient(grid2d(8, 8)) == 0.0
+
+    def test_triangle_chain(self):
+        # Two triangles sharing a vertex: every vertex fully clustered
+        # except the shared one.
+        g = from_edges(5, [0, 1, 0, 2, 3, 2], [1, 2, 2, 3, 4, 4])
+        c = clustering_coefficient(g, sample=5)
+        assert 0.5 < c <= 1.0
+
+    def test_sampling_deterministic(self, tiny_mesh):
+        a = clustering_coefficient(tiny_mesh, sample=50, seed=2)
+        b = clustering_coefficient(tiny_mesh, sample=50, seed=2)
+        assert a == b
+
+    def test_path_no_eligible(self):
+        # Degree-1 endpoints skipped; interior vertices open.
+        assert clustering_coefficient(path_graph(5)) == 0.0
+
+
+class TestGraphStats:
+    def test_summary_fields(self, tiny_mesh):
+        s = graph_stats(tiny_mesh)
+        assert s.n == tiny_mesh.n
+        assert s.m == tiny_mesh.m
+        assert s.avg_degree == pytest.approx(tiny_mesh.average_degree)
+        assert s.diameter_lb > 10  # a mesh is wide
+        assert 0 <= s.miss_rate <= 1
+        assert s.clustering > 0.3  # triangulated
+
+    def test_structural_contrast(self):
+        from repro import datasets
+
+        road = graph_stats(datasets.load("road", "tiny"))
+        kron = graph_stats(datasets.load("kron", "tiny"))
+        assert road.diameter_lb > 5 * kron.diameter_lb
+        assert kron.degree_skew > 3 * road.degree_skew
+        assert kron.miss_rate > road.miss_rate
+
+    def test_format_table(self, tiny_mesh):
+        text = format_stats_table([graph_stats(tiny_mesh)])
+        assert "Graph" in text and "diam>=" in text
+        assert tiny_mesh.name.split("[")[0] in text

@@ -1,0 +1,110 @@
+"""Tests for sparse stress majorization and its ParHDE warm start."""
+
+import numpy as np
+import pytest
+
+from repro import parhde
+from repro.core.stress_majorization import (
+    MajorizationResult,
+    build_terms,
+    stress_majorization,
+)
+from repro.graph import cycle_graph, path_graph
+from repro.metrics import sampled_stress
+
+
+class TestTerms:
+    def test_edges_included(self, small_grid):
+        i, j, d = build_terms(small_grid, pivots=0)
+        assert len(i) == small_grid.m
+        assert np.all(d == 1.0)
+
+    def test_pivot_rows_included(self, small_grid):
+        i, j, d = build_terms(small_grid, pivots=3, seed=0)
+        assert len(i) == small_grid.m + 3 * (small_grid.n - 1)
+        assert d.max() > 1.0  # long-range targets present
+
+    def test_weighted_targets(self, small_grid):
+        from repro.graph import random_integer_weights
+
+        g = random_integer_weights(small_grid, 2, 9, seed=0)
+        i, j, d = build_terms(g, pivots=0)
+        assert d.min() >= 2.0
+
+    def test_validation(self, small_grid):
+        with pytest.raises(ValueError):
+            build_terms(small_grid, pivots=-1)
+
+
+class TestMajorization:
+    def test_monotone_decrease(self, tiny_mesh, rng):
+        coords0 = rng.standard_normal((tiny_mesh.n, 2))
+        res = stress_majorization(tiny_mesh, coords0, max_iter=30, tol=0.0)
+        hist = np.array(res.stress_history)
+        assert np.all(np.diff(hist) <= 1e-9 * hist[0])
+
+    def test_improves_sampled_stress(self, tiny_mesh, rng):
+        coords0 = rng.standard_normal((tiny_mesh.n, 2))
+        res = stress_majorization(tiny_mesh, coords0, max_iter=150, seed=1)
+        assert sampled_stress(tiny_mesh, res.coords, seed=2) < sampled_stress(
+            tiny_mesh, coords0, seed=2
+        )
+
+    def test_path_straightens(self):
+        g = path_graph(20)
+        rng = np.random.default_rng(0)
+        res = stress_majorization(
+            g, rng.standard_normal((20, 2)), pivots=4, max_iter=500, tol=1e-9
+        )
+        # A path embeds isometrically: near-zero stress achievable.
+        assert sampled_stress(g, res.coords, seed=0) < 0.02
+
+    def test_cycle_rounds(self):
+        g = cycle_graph(24)
+        rng = np.random.default_rng(1)
+        res = stress_majorization(
+            g, rng.standard_normal((24, 2)), pivots=6, max_iter=500, tol=1e-9
+        )
+        # Vertices end near a circle: radii have low variance.
+        c = res.coords - res.coords.mean(axis=0)
+        radii = np.sqrt((c**2).sum(axis=1))
+        assert radii.std() / radii.mean() < 0.2
+
+    def test_zero_iterations(self, tiny_mesh, rng):
+        coords0 = rng.standard_normal((tiny_mesh.n, 2))
+        res = stress_majorization(tiny_mesh, coords0, max_iter=0)
+        # Only the optimal prescale is applied; the shape is untouched.
+        alpha = res.coords[1, 0] / coords0[1, 0]
+        np.testing.assert_allclose(res.coords, coords0 * alpha)
+        assert res.iterations == 0
+
+    def test_validation(self, tiny_mesh):
+        with pytest.raises(ValueError):
+            stress_majorization(tiny_mesh, np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            stress_majorization(
+                tiny_mesh, np.zeros((tiny_mesh.n, 2)), max_iter=-1
+            )
+
+
+class TestWarmStart:
+    def test_parhde_start_converges_in_fewer_iterations(self, tiny_mesh):
+        """The section 4.5.4 suggestion, quantified."""
+        hde = parhde(tiny_mesh, s=10, seed=0)
+        rng = np.random.default_rng(3)
+        kwargs = dict(pivots=8, max_iter=500, tol=1e-4, seed=0)
+        warm = stress_majorization(tiny_mesh, hde.coords, **kwargs)
+        cold = stress_majorization(
+            tiny_mesh, rng.standard_normal((tiny_mesh.n, 2)), **kwargs
+        )
+        assert warm.initial_stress < cold.initial_stress
+        assert warm.iterations <= cold.iterations
+        # Warm start reaches at least the cold run's quality.
+        assert warm.final_stress <= cold.final_stress * 1.1
+
+    def test_result_properties(self, tiny_mesh):
+        hde = parhde(tiny_mesh, s=8, seed=0)
+        res = stress_majorization(tiny_mesh, hde.coords, max_iter=5, tol=0.0)
+        assert isinstance(res, MajorizationResult)
+        assert res.iterations == 5
+        assert res.final_stress <= res.initial_stress

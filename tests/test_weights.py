@@ -1,0 +1,58 @@
+"""Tests for edge-weight assignment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import bfs_distances
+from repro.graph import (
+    random_integer_weights,
+    random_real_weights,
+    unit_weights,
+)
+from repro.sssp import dijkstra
+
+
+def test_unit_weights_match_bfs(small_grid):
+    g = unit_weights(small_grid)
+    assert g.is_weighted
+    assert np.all(g.weights == 1.0)
+    d_bfs, _ = bfs_distances(small_grid, 0)
+    d_w = dijkstra(g, 0)
+    np.testing.assert_allclose(d_w, d_bfs.astype(float))
+
+
+def test_integer_weights_range_and_symmetry(small_random):
+    g = random_integer_weights(small_random, 1, 64, seed=1)
+    g.validate()  # checks weight symmetry
+    assert g.weights.min() >= 1
+    assert g.weights.max() < 64
+    assert np.all(g.weights == np.round(g.weights))
+
+
+def test_integer_weights_deterministic(small_random):
+    a = random_integer_weights(small_random, seed=5)
+    b = random_integer_weights(small_random, seed=5)
+    np.testing.assert_array_equal(a.weights, b.weights)
+
+
+def test_real_weights_in_unit_interval(small_random):
+    g = random_real_weights(small_random, seed=2)
+    g.validate()
+    assert g.weights.min() > 0
+    assert g.weights.max() <= 1.0
+
+
+def test_both_directions_same_weight(small_random):
+    g = random_integer_weights(small_random, seed=3)
+    u, v = g.edge_list()
+    for a, b in zip(u[:50].tolist(), v[:50].tolist()):
+        ia = np.searchsorted(g.neighbors(a), b)
+        ib = np.searchsorted(g.neighbors(b), a)
+        assert g.edge_weights_of(a)[ia] == g.edge_weights_of(b)[ib]
+
+
+def test_bad_range_rejected(small_grid):
+    with pytest.raises(ValueError):
+        random_integer_weights(small_grid, 0, 5)
+    with pytest.raises(ValueError):
+        random_integer_weights(small_grid, 5, 5)

@@ -1,0 +1,60 @@
+"""Tests for the zoom feature (section 4.5.2, Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro import zoom_layout
+from repro.bfs import bfs_distances
+from repro.core.zoom import khop_subgraph, khop_vertices
+
+
+def test_khop_matches_bfs_ball(tiny_mesh):
+    center, hops = 10, 4
+    ids = khop_vertices(tiny_mesh, center, hops)
+    dist, _ = bfs_distances(tiny_mesh, center)
+    expected = np.flatnonzero((dist >= 0) & (dist <= hops))
+    np.testing.assert_array_equal(ids, expected)
+
+
+def test_khop_zero_hops(tiny_mesh):
+    ids = khop_vertices(tiny_mesh, 3, 0)
+    np.testing.assert_array_equal(ids, [3])
+
+
+def test_khop_subgraph_connected(tiny_mesh):
+    from repro.graph import is_connected
+
+    sub, ids = khop_subgraph(tiny_mesh, 7, 5)
+    sub.validate()
+    assert is_connected(sub)
+    assert 7 in ids
+
+
+def test_khop_subgraph_preserves_internal_edges(small_grid):
+    sub, ids = khop_subgraph(small_grid, 0, 3)
+    pos = {int(v): i for i, v in enumerate(ids)}
+    for v in ids:
+        for w in small_grid.neighbors(int(v)):
+            if int(w) in pos:
+                assert sub.has_edge(pos[int(v)], pos[int(w)])
+
+
+def test_zoom_layout(tiny_mesh):
+    res = zoom_layout(tiny_mesh, center=20, hops=10, s=8, seed=0)
+    assert res.subgraph.n == len(res.vertex_ids)
+    assert res.layout.coords.shape == (res.subgraph.n, 2)
+    assert np.all(np.isfinite(res.layout.coords))
+    assert res.vertex_ids[res.center_local] == 20
+
+
+def test_zoom_small_ball_clamps_s(tiny_mesh):
+    # A 1-hop ball may have fewer vertices than the default s.
+    res = zoom_layout(tiny_mesh, center=0, hops=1, s=50, seed=0)
+    assert res.layout.coords.shape[0] == res.subgraph.n
+
+
+def test_khop_validation(tiny_mesh):
+    with pytest.raises(ValueError):
+        khop_vertices(tiny_mesh, -1, 2)
+    with pytest.raises(ValueError):
+        khop_vertices(tiny_mesh, 0, -2)
