@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast examples results clean
+.PHONY: install test bench bench-fast serve-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Boot the layout server on an ephemeral port, issue a layout + stats
+# request, and assert the second identical request is a cache hit.
+serve-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/serve_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

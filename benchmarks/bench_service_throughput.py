@@ -1,0 +1,127 @@
+"""Serving-layer throughput: mixed hot/cold request stream replay.
+
+Replays a deterministic request stream through a fresh
+:class:`~repro.service.engine.LayoutEngine` from several concurrent
+client threads.  The stream mixes *hot* fingerprints (a small working
+set that should be served from cache after first touch) with *cold*
+ones (unique seeds, always computed), the shape of real serving traffic.
+Reports requests/sec, hit rate and latency percentiles into
+``benchmarks/results/service_throughput.txt``.
+
+Unlike the table/figure benchmarks this measures the serving subsystem
+itself, so it always runs at a small graph scale — the quantity under
+test is engine overhead (cache, dedup, admission), not layout time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import LayoutCache, LayoutEngine, LayoutRequest
+
+from conftest import load_cached
+
+# Deterministic mixed stream: 3 hot request shapes, 20% cold traffic.
+HOT_GRAPHS = ("barth", "ecology", "cage")
+N_REQUESTS = 160
+COLD_EVERY = 5  # every 5th request is a cold (unique) fingerprint
+CLIENTS = 8
+
+
+def _stream() -> list[LayoutRequest]:
+    requests = []
+    for i in range(N_REQUESTS):
+        if i % COLD_EVERY == 0:
+            # Cold: unique algorithm seed -> unique fingerprint.
+            requests.append(
+                LayoutRequest(
+                    graph=HOT_GRAPHS[i % len(HOT_GRAPHS)],
+                    scale="tiny",
+                    s=6,
+                    seed=1000 + i,
+                )
+            )
+        else:
+            requests.append(
+                LayoutRequest(
+                    graph=HOT_GRAPHS[i % len(HOT_GRAPHS)],
+                    scale="tiny",
+                    s=6,
+                    seed=0,
+                )
+            )
+    return requests
+
+
+def _replay() -> dict:
+    graphs = {name: load_cached(name, "tiny") for name in HOT_GRAPHS}
+    engine = LayoutEngine(
+        cache=LayoutCache(max_bytes=64 * 1024 * 1024),
+        workers=4,
+        queue_limit=64,
+        timeout=120,
+        graph_loader=lambda name, scale, seed: graphs[name],
+    )
+    stream = _stream()
+    cursor = {"next": 0}
+    lock = threading.Lock()
+    statuses: list[str] = []
+
+    def client():
+        while True:
+            with lock:
+                i = cursor["next"]
+                if i >= len(stream):
+                    return
+                cursor["next"] = i + 1
+            response = engine.submit(stream[i])
+            with lock:
+                statuses.append(response.status)
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+
+    snap = engine.stats()
+    engine.close()
+    hits = sum(1 for s in statuses if s.endswith("-hit"))
+    return {
+        "wall": wall,
+        "rps": len(stream) / wall,
+        "hit_rate": hits / len(stream),
+        "statuses": {s: statuses.count(s) for s in sorted(set(statuses))},
+        "latency": snap["histograms"]["latency_seconds"],
+        "compute": snap["histograms"]["compute_seconds"],
+    }
+
+
+def test_service_throughput(benchmark, report):
+    stats = benchmark.pedantic(_replay, rounds=1, iterations=1)
+    assert stats["hit_rate"] > 0.5, "hot traffic should mostly hit the cache"
+
+    lat = stats["latency"]
+    lines = [
+        f"{'requests':<22} {N_REQUESTS}",
+        f"{'client threads':<22} {CLIENTS}",
+        f"{'workers':<22} 4",
+        f"{'hot graphs':<22} {', '.join(HOT_GRAPHS)}",
+        f"{'cold share':<22} 1/{COLD_EVERY}",
+        "",
+        f"{'wall seconds':<22} {stats['wall']:.3f}",
+        f"{'requests/sec':<22} {stats['rps']:.1f}",
+        f"{'cache hit rate':<22} {stats['hit_rate'] * 100:.1f}%",
+        f"{'status mix':<22} {stats['statuses']}",
+        "",
+        f"{'latency p50':<22} {lat['p50'] * 1000:.2f} ms",
+        f"{'latency p95':<22} {lat['p95'] * 1000:.2f} ms",
+        f"{'latency p99':<22} {lat['p99'] * 1000:.2f} ms",
+        f"{'compute p50':<22} {stats['compute']['p50'] * 1000:.2f} ms",
+    ]
+    report("service_throughput", "\n".join(lines))

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Smoke test for ``parhde serve`` (the ``make serve-smoke`` target).
+
+Boots a real :class:`~repro.service.http.LayoutServer` on an ephemeral
+port, then exercises the serving contract end to end over actual HTTP:
+
+1. ``GET /healthz`` answers ok;
+2. a cold ``POST /layout`` computes a layout;
+3. an identical second request is served from cache — verified both via
+   the ``GET /stats`` hit counter and by requiring a large cold/warm
+   speedup;
+4. ``GET /stats?format=text`` renders the plain-text page.
+
+Exits nonzero with a diagnostic on any violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.request
+
+from repro.service import LayoutEngine, make_server
+
+GRAPH = {"graph": "barth", "scale": "small", "s": 10, "seed": 0}
+MIN_SPEEDUP = 10.0
+
+
+def _post(url: str, body: dict) -> dict:
+    req = urllib.request.Request(
+        url + "/layout",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+def _get(url: str, route: str) -> bytes:
+    with urllib.request.urlopen(url + route, timeout=30) as resp:
+        return resp.read()
+
+
+def main() -> int:
+    engine = LayoutEngine(workers=2, queue_limit=8, timeout=120)
+    server = make_server(engine, port=0).start()
+    url = server.url
+    failures: list[str] = []
+    try:
+        health = json.loads(_get(url, "/healthz"))
+        if health != {"status": "ok"}:
+            failures.append(f"healthz answered {health}")
+
+        cold = _post(url, GRAPH)
+        if cold.get("status") != "computed":
+            failures.append(f"cold request status {cold.get('status')!r}")
+        warm = _post(url, GRAPH)
+        if not warm.get("cache_hit"):
+            failures.append(f"warm request status {warm.get('status')!r}")
+        if warm.get("fingerprint") != cold.get("fingerprint"):
+            failures.append("fingerprints differ between identical requests")
+
+        speedup = cold["elapsed_seconds"] / max(warm["elapsed_seconds"], 1e-9)
+        if speedup < MIN_SPEEDUP:
+            failures.append(
+                f"cache speedup {speedup:.1f}x < required {MIN_SPEEDUP}x"
+            )
+
+        stats = json.loads(_get(url, "/stats"))
+        hits = stats["counters"].get("cache_hits", 0)
+        if hits < 1:
+            failures.append(f"stats hit counter is {hits}, expected >= 1")
+        if stats["cache"]["hits"] < 1:
+            failures.append("cache tier reported no hits")
+
+        text = _get(url, "/stats?format=text").decode()
+        if "# counters" not in text:
+            failures.append("text stats page missing '# counters' section")
+
+        print(
+            f"serve-smoke: ok — cold {cold['elapsed_seconds']:.3f}s,"
+            f" warm {warm['elapsed_seconds'] * 1000:.2f}ms"
+            f" ({speedup:.0f}x), {hits} cache hit(s)"
+        )
+    finally:
+        server.shutdown()
+        engine.close()
+    for failure in failures:
+        print(f"serve-smoke: FAIL — {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,18 @@ Subcommands
     propagation, with an optional colored drawing.
 ``export-html``
     Self-contained interactive HTML viewer for a layout.
+``serve``
+    Long-running layout server: content-addressed caching, request
+    coalescing, admission control, and a JSON HTTP endpoint
+    (see :mod:`repro.service`).
 ``reproduce``
     Run the paper-reproduction benchmarks (all of them, or by table /
     figure id) via pytest-benchmark.
+
+Commands that *consume* a layout (``zoom``, ``partition``,
+``export-html``) accept ``--layout FILE.npz`` to reuse one saved with
+``layout --save-layout`` instead of recomputing — the same archive
+format the serve cache's disk tier uses.
 """
 
 from __future__ import annotations
@@ -65,6 +74,36 @@ def _add_graph_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_layout_input(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--layout",
+        metavar="FILE.npz",
+        help="reuse a layout saved with 'layout --save-layout' instead of"
+        " recomputing",
+    )
+
+
+def _load_saved_coords(path: str, g, parser: argparse.ArgumentParser):
+    from .core import load_layout
+
+    try:
+        saved = load_layout(path)
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(f"cannot load layout {path!r}: {exc}")
+    if saved.coords.shape[0] != g.n:
+        parser.error(
+            f"layout {path!r} has {saved.coords.shape[0]} vertices but the"
+            f" graph has {g.n}; was it computed for a different"
+            " graph/scale/seed?"
+        )
+    print(
+        f"layout <- {path} ({saved.algorithm},"
+        f" s={saved.params.get('s', '?')})",
+        file=sys.stderr,
+    )
+    return saved.coords
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="parhde", description="Fast spectral graph layout (ICPP'20 reproduction)"
@@ -77,6 +116,12 @@ def main(argv: list[str] | None = None) -> int:
     p_layout.add_argument("-s", "--subspace", type=int, default=10)
     p_layout.add_argument("--pivots", default="kcenters")
     p_layout.add_argument("--coords-out", help="write x y per line")
+    p_layout.add_argument(
+        "--save-layout",
+        metavar="FILE.npz",
+        help="persist the full layout archive (reloadable by zoom,"
+        " partition, export-html and the serve disk cache)",
+    )
     p_layout.add_argument("--png", help="write a drawing")
     p_layout.add_argument("--width", type=int, default=800)
 
@@ -103,6 +148,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="FM-refine a bipartition (k=2 only)")
     p_part.add_argument("--out", help="write one part label per line")
     p_part.add_argument("--png", help="write a colored drawing")
+    _add_layout_input(p_part)
 
     p_zoom = sub.add_parser("zoom", help="k-hop neighborhood layout")
     _add_graph_args(p_zoom)
@@ -110,6 +156,7 @@ def main(argv: list[str] | None = None) -> int:
     p_zoom.add_argument("--hops", type=int, default=10)
     p_zoom.add_argument("-s", "--subspace", type=int, default=10)
     p_zoom.add_argument("--png", help="write the zoomed drawing")
+    _add_layout_input(p_zoom)
 
     p_clu = sub.add_parser("cluster", help="spectral / label-prop clustering")
     _add_graph_args(p_clu)
@@ -126,6 +173,26 @@ def main(argv: list[str] | None = None) -> int:
     _add_graph_args(p_html)
     p_html.add_argument("-s", "--subspace", type=int, default=10)
     p_html.add_argument("output", help="HTML file to write")
+    _add_layout_input(p_html)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP layout server (cache + admission control)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent layout computations")
+    p_serve.add_argument("--queue-depth", type=int, default=8,
+                         help="queued computations before 503 Overloaded")
+    p_serve.add_argument("--timeout", type=float, default=60.0,
+                         help="per-request deadline in seconds")
+    p_serve.add_argument("--cache-mb", type=float, default=256.0,
+                         help="in-memory cache budget (MiB)")
+    p_serve.add_argument("--cache-dir",
+                         help="directory for the persistent disk cache tier")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
 
     p_rep = sub.add_parser(
         "reproduce", help="run the paper-reproduction benchmarks"
@@ -153,6 +220,9 @@ def main(argv: list[str] | None = None) -> int:
         print(datasets.format_table2(rows))
         return 0
 
+    if args.command == "serve":
+        return _serve(args)
+
     g = _load_graph(args.graph, args.scale, args.seed)
     print(f"loaded {g!r}", file=sys.stderr)
 
@@ -174,12 +244,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.coords_out:
             np.savetxt(args.coords_out, res.coords, fmt="%.10g")
             print(f"coordinates -> {args.coords_out}", file=sys.stderr)
+        if args.save_layout:
+            from .core import save_layout
+
+            save_layout(res, args.save_layout)
+            print(f"layout archive -> {args.save_layout}", file=sys.stderr)
         if args.png:
             save_drawing(
                 g, res.coords, args.png, width=args.width, height=args.width
             )
             print(f"drawing -> {args.png}", file=sys.stderr)
-        if not args.coords_out and not args.png:
+        if not args.coords_out and not args.png and not args.save_layout:
             np.savetxt(sys.stdout, res.coords, fmt="%.10g")
         return 0
 
@@ -191,8 +266,11 @@ def main(argv: list[str] | None = None) -> int:
             fm_refine,
         )
 
-        res = parhde(g, args.subspace, seed=args.seed)
-        parts = coordinate_bisection(g, res.coords, args.parts)
+        if args.layout:
+            coords = _load_saved_coords(args.layout, g, parser)
+        else:
+            coords = parhde(g, args.subspace, seed=args.seed).coords
+        parts = coordinate_bisection(g, coords, args.parts)
         if args.refine:
             if args.parts != 2:
                 parser.error("--refine supports bipartitions (k=2)")
@@ -215,7 +293,7 @@ def main(argv: list[str] | None = None) -> int:
             u, v = g.edge_list()
             canvas = render_layout(
                 g,
-                res.coords,
+                coords,
                 width=args.width if hasattr(args, "width") else 800,
                 height=800,
                 edge_colors=partition_edge_colors(u, v, parts),
@@ -227,22 +305,32 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "zoom":
-        from .core import zoom_layout
+        if args.layout:
+            # Reuse the saved full-graph layout: restrict its coordinates
+            # to the k-hop ball instead of re-running ParHDE on it.
+            from .core import khop_subgraph
 
-        z = zoom_layout(
-            g, center=args.center, hops=args.hops, s=args.subspace,
-            seed=args.seed,
-        )
+            full_coords = _load_saved_coords(args.layout, g, parser)
+            sub, ids = khop_subgraph(g, args.center, args.hops)
+            coords = full_coords[ids]
+        else:
+            from .core import zoom_layout
+
+            z = zoom_layout(
+                g, center=args.center, hops=args.hops, s=args.subspace,
+                seed=args.seed,
+            )
+            sub, coords = z.subgraph, z.layout.coords
         print(
-            f"zoom: {z.subgraph.n} vertices / {z.subgraph.m} edges within"
+            f"zoom: {sub.n} vertices / {sub.m} edges within"
             f" {args.hops} hops of {args.center}",
             file=sys.stderr,
         )
         if args.png:
-            save_drawing(z.subgraph, z.layout.coords, args.png)
+            save_drawing(sub, coords, args.png)
             print(f"drawing -> {args.png}", file=sys.stderr)
         else:
-            np.savetxt(sys.stdout, z.layout.coords, fmt="%.10g")
+            np.savetxt(sys.stdout, coords, fmt="%.10g")
         return 0
 
     if args.command == "cluster":
@@ -287,9 +375,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "export-html":
         from .drawing import write_interactive_html
 
-        res = parhde(g, args.subspace, seed=args.seed)
+        if args.layout:
+            coords = _load_saved_coords(args.layout, g, parser)
+        else:
+            coords = parhde(g, args.subspace, seed=args.seed).coords
         write_interactive_html(
-            g, res.coords, args.output, title=f"ParHDE: {g.name or args.graph}"
+            g, coords, args.output, title=f"ParHDE: {g.name or args.graph}"
         )
         print(f"interactive viewer -> {args.output}", file=sys.stderr)
         return 0
@@ -310,6 +401,45 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     return 1
+
+
+def _serve(args) -> int:
+    from .service import LayoutCache, LayoutEngine, make_server
+
+    cache = LayoutCache(
+        max_bytes=int(args.cache_mb * 1024 * 1024),
+        disk_dir=args.cache_dir,
+    )
+    engine = LayoutEngine(
+        cache=cache,
+        workers=args.workers,
+        queue_limit=args.queue_depth,
+        timeout=args.timeout,
+    )
+    server = make_server(
+        engine, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.address
+    print(
+        f"parhde serve: listening on http://{host}:{port}"
+        f" (workers={args.workers}, queue={args.queue_depth},"
+        f" cache={args.cache_mb:g} MiB"
+        + (f", disk={args.cache_dir}" if args.cache_dir else "")
+        + ")",
+        file=sys.stderr,
+    )
+    print(
+        "routes: POST /layout  GET /healthz  GET /stats[?format=text]",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        engine.close()
+    return 0
 
 
 def _reproduce(args, parser) -> int:

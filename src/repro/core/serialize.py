@@ -1,33 +1,64 @@
 """Save and load layout results.
 
 Layouts of large graphs are expensive enough to be worth persisting —
-the zoom feature, partitioners and stress majorization all consume a
+the zoom feature, partitioners, stress majorization and the serving
+layer's disk cache tier (:mod:`repro.service.cache`) all consume a
 previously computed layout.  The archive stores the numeric payload of
 a :class:`LayoutResult` (coordinates, distance matrix, subspace,
 eigenvalues, pivots) plus the parameter echo; the cost ledger and BFS
 statistics are runtime artifacts and are not serialized.
+
+Format history
+--------------
+* **v1** — initial format; the params echo was JSON-encoded with
+  ``default=str``, which silently stringified numpy scalars (``s=10``
+  saved from a ``np.int64`` came back as ``"10"``).
+* **v2** — params echo preserves numeric types: numpy integers/floats/
+  bools/arrays are converted to their Python equivalents before
+  encoding, so a save → load round trip yields ``int``/``float``/
+  ``bool``/``list`` values.
+
+:func:`load_layout` accepts any version up to the current one and
+raises a clear error for archives written by a *newer* library.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import Any
 
 import numpy as np
 
 from ..parallel.costs import Ledger
 from .result import LayoutResult
 
-__all__ = ["save_layout", "load_layout"]
+__all__ = ["save_layout", "load_layout", "FORMAT_VERSION"]
 
-_FORMAT_VERSION = 1
+#: Current archive format (see "Format history" above).
+FORMAT_VERSION = 2
+_FORMAT_VERSION = FORMAT_VERSION  # backwards-compatible alias
+_MIN_FORMAT_VERSION = 1
+
+
+def _params_default(value: Any) -> Any:
+    """JSON fallback that keeps numeric params numeric (v2 behavior)."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
 
 
 def save_layout(result: LayoutResult, path: str | os.PathLike) -> None:
     """Write a layout to a compressed ``.npz`` archive."""
     np.savez_compressed(
         path,
-        format_version=np.int64(_FORMAT_VERSION),
+        format_version=np.int64(FORMAT_VERSION),
         coords=result.coords,
         B=result.B,
         S=result.S,
@@ -35,21 +66,35 @@ def save_layout(result: LayoutResult, path: str | os.PathLike) -> None:
         pivots=result.pivots,
         dropped=np.asarray(result.dropped, dtype=np.int64),
         algorithm=np.array(result.algorithm),
-        params=np.array(json.dumps(result.params, default=str)),
+        params=np.array(json.dumps(result.params, default=_params_default)),
     )
 
 
 def load_layout(path: str | os.PathLike) -> LayoutResult:
     """Load a layout saved by :func:`save_layout`.
 
+    Raises
+    ------
+    ValueError
+        If the archive was written by a newer library version (its
+        ``format_version`` exceeds :data:`FORMAT_VERSION`) or predates
+        the earliest supported format.
+
     The returned result carries an empty ledger (costs are not
     persisted); performance queries require re-running the algorithm.
     """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"layout archive {os.fspath(path)!r} has format version"
+                f" {version}, newer than this library's supported version"
+                f" {FORMAT_VERSION}; upgrade repro to read it"
+            )
+        if version < _MIN_FORMAT_VERSION:
             raise ValueError(
                 f"unsupported layout archive version {version}"
+                f" (supported: {_MIN_FORMAT_VERSION}..{FORMAT_VERSION})"
             )
         return LayoutResult(
             coords=data["coords"],

@@ -16,7 +16,13 @@ from .machine import (
     simulate_ledger,
     subphase_times,
 )
-from .pool import ParallelExecutor, default_threads, split_range
+from .pool import (
+    ParallelExecutor,
+    PoolSaturated,
+    TaskPool,
+    default_threads,
+    split_range,
+)
 from .threaded_kernels import (
     threaded_dortho_sweep,
     threaded_laplacian_spmm,
@@ -49,6 +55,8 @@ __all__ = [
     "phase_times",
     "subphase_times",
     "ParallelExecutor",
+    "PoolSaturated",
+    "TaskPool",
     "default_threads",
     "split_range",
     "threaded_spmm",

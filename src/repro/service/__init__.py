@@ -1,0 +1,63 @@
+"""Production layout-serving subsystem.
+
+The library computes layouts; this package *serves* them.  It turns the
+paper's single-run speed into sustained throughput the way a production
+deployment would:
+
+* :mod:`~repro.service.fingerprint` — content-addressed request identity
+  (stable digest over the CSR arrays + algorithm parameters), so two
+  requests for the same graph and parameters are the same request;
+* :mod:`~repro.service.cache` — a thread-safe two-tier layout cache
+  (in-memory LRU with a byte budget, optional on-disk tier reusing the
+  ``core.serialize`` archive format);
+* :mod:`~repro.service.engine` — the :class:`LayoutEngine`: single-flight
+  deduplication of concurrent identical requests, a bounded worker pool,
+  and admission control (queue-depth limit + per-request timeout) that
+  degrades to structured ``Overloaded``/``RequestTimeout`` errors instead
+  of unbounded pile-up;
+* :mod:`~repro.service.telemetry` — counters and latency histograms
+  exportable as a dict or a plain-text stats page;
+* :mod:`~repro.service.http` — a dependency-free JSON endpoint
+  (``POST /layout``, ``GET /healthz``, ``GET /stats``) on the stdlib
+  ``http.server``, wired to the CLI as ``parhde serve``.
+"""
+
+from .cache import LayoutCache, layout_nbytes
+from .engine import (
+    BadRequest,
+    LayoutEngine,
+    LayoutRequest,
+    LayoutResponse,
+    Overloaded,
+    RequestTimeout,
+    ServiceError,
+)
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_params,
+    graph_digest,
+    layout_fingerprint,
+)
+from .http import LayoutServer, make_server
+from .telemetry import Counter, Histogram, Telemetry
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "BadRequest",
+    "Counter",
+    "Histogram",
+    "LayoutCache",
+    "LayoutEngine",
+    "LayoutRequest",
+    "LayoutResponse",
+    "LayoutServer",
+    "Overloaded",
+    "RequestTimeout",
+    "ServiceError",
+    "Telemetry",
+    "canonical_params",
+    "graph_digest",
+    "layout_fingerprint",
+    "layout_nbytes",
+    "make_server",
+]

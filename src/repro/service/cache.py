@@ -1,0 +1,204 @@
+"""Two-tier content-addressed layout cache.
+
+Tier 1 is an in-memory LRU bounded by a *byte* budget (layouts vary by
+orders of magnitude in size, so an entry count is the wrong knob).
+Tier 2 is an optional on-disk directory of ``<fingerprint>.npz``
+archives in the :mod:`repro.core.serialize` format — the same format
+``parhde layout --save-layout`` writes, so warm state survives restarts
+and files are inspectable with the normal tooling.
+
+Eviction from memory spills to disk (when a disk tier is configured);
+a disk hit is promoted back into memory.  All operations are safe under
+concurrent access from the serving threads; hit/miss/evict accounting is
+exposed via :meth:`LayoutCache.stats`.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from ..core.result import LayoutResult
+from ..core.serialize import load_layout, save_layout
+
+__all__ = ["LayoutCache", "layout_nbytes"]
+
+_ARRAY_FIELDS = ("coords", "B", "S", "eigenvalues", "pivots")
+
+#: Accounting overhead charged per entry (dict slots, params echo, ...).
+_ENTRY_OVERHEAD = 512
+
+
+def layout_nbytes(result: LayoutResult) -> int:
+    """Approximate resident size of a layout result in bytes."""
+    total = _ENTRY_OVERHEAD
+    for name in _ARRAY_FIELDS:
+        arr = getattr(result, name)
+        if arr is not None:
+            total += int(arr.nbytes)
+    return total
+
+
+class LayoutCache:
+    """Thread-safe LRU layout cache with an optional disk tier.
+
+    Parameters
+    ----------
+    max_bytes:
+        Memory-tier budget.  Entries are evicted least-recently-used
+        until the tier fits; a single entry larger than the whole budget
+        is never held in memory (it goes straight to disk, if enabled).
+    disk_dir:
+        Directory for the persistent tier, created on demand.  ``None``
+        disables the disk tier.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 256 * 1024 * 1024,
+        disk_dir: str | os.PathLike | None = None,
+    ):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._lock = threading.RLock()
+        self._mem: OrderedDict[str, tuple[LayoutResult, int]] = OrderedDict()
+        self._mem_bytes = 0
+        self._counts = {
+            "hits": 0,
+            "misses": 0,
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "stores": 0,
+            "evictions": 0,
+            "disk_errors": 0,
+        }
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._mem:
+                return True
+        path = self._disk_path(fingerprint)
+        return path is not None and path.exists()
+
+    @property
+    def current_bytes(self) -> int:
+        """Bytes currently charged to the memory tier."""
+        with self._lock:
+            return self._mem_bytes
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the accounting counters plus occupancy."""
+        with self._lock:
+            out = dict(self._counts)
+            out["entries"] = len(self._mem)
+            out["bytes"] = self._mem_bytes
+            out["max_bytes"] = self.max_bytes
+        return out
+
+    # -- core operations ---------------------------------------------------
+    def get(self, fingerprint: str) -> tuple[LayoutResult, str] | None:
+        """Look up a fingerprint.
+
+        Returns ``(result, tier)`` where ``tier`` is ``"memory"`` or
+        ``"disk"``, or ``None`` on a miss.  Disk hits are promoted into
+        the memory tier.
+        """
+        with self._lock:
+            entry = self._mem.get(fingerprint)
+            if entry is not None:
+                self._mem.move_to_end(fingerprint)
+                self._counts["hits"] += 1
+                self._counts["memory_hits"] += 1
+                return entry[0], "memory"
+
+        result = self._disk_load(fingerprint)
+        with self._lock:
+            if result is not None:
+                self._counts["hits"] += 1
+                self._counts["disk_hits"] += 1
+                self._insert_memory(fingerprint, result, spill=False)
+                return result, "disk"
+            self._counts["misses"] += 1
+        return None
+
+    def put(self, fingerprint: str, result: LayoutResult) -> None:
+        """Insert a computed layout into both tiers."""
+        with self._lock:
+            self._counts["stores"] += 1
+            self._insert_memory(fingerprint, result, spill=True)
+        self._disk_store(fingerprint, result)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk archives are left in place)."""
+        with self._lock:
+            self._mem.clear()
+            self._mem_bytes = 0
+
+    # -- memory tier (call with lock held) ---------------------------------
+    def _insert_memory(
+        self, fingerprint: str, result: LayoutResult, *, spill: bool
+    ) -> None:
+        nbytes = layout_nbytes(result)
+        old = self._mem.pop(fingerprint, None)
+        if old is not None:
+            self._mem_bytes -= old[1]
+        if nbytes > self.max_bytes:
+            return  # oversize: disk tier only
+        self._mem[fingerprint] = (result, nbytes)
+        self._mem_bytes += nbytes
+        while self._mem_bytes > self.max_bytes and self._mem:
+            victim_fp, (victim, victim_bytes) = self._mem.popitem(last=False)
+            self._mem_bytes -= victim_bytes
+            self._counts["evictions"] += 1
+            if spill:
+                self._disk_store(victim_fp, victim, overwrite=False)
+
+    # -- disk tier ---------------------------------------------------------
+    def _disk_path(self, fingerprint: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{fingerprint}.npz"
+
+    def _disk_load(self, fingerprint: str) -> LayoutResult | None:
+        path = self._disk_path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        try:
+            return load_layout(path)
+        except Exception:
+            with self._lock:
+                self._counts["disk_errors"] += 1
+            return None
+
+    def _disk_store(
+        self, fingerprint: str, result: LayoutResult, *, overwrite: bool = True
+    ) -> None:
+        path = self._disk_path(fingerprint)
+        if path is None or (not overwrite and path.exists()):
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so concurrent readers never see a torn file.
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            os.close(fd)
+            try:
+                save_layout(result, tmp)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except Exception:
+            with self._lock:
+                self._counts["disk_errors"] += 1

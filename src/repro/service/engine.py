@@ -1,0 +1,395 @@
+"""The layout-serving engine: cache, single-flight dedup, admission control.
+
+:class:`LayoutEngine` is the synchronous core the HTTP endpoint, the
+CLI and the throughput benchmark all share.  A request travels through
+three gates:
+
+1. **Cache** — the request fingerprint is looked up in the two-tier
+   :class:`~repro.service.cache.LayoutCache`; a hit returns immediately.
+2. **Single-flight** — concurrent requests for the same fingerprint
+   coalesce onto one computation; followers block on the leader's
+   completion event instead of recomputing (the classic thundering-herd
+   guard).
+3. **Admission control** — leader computations run on a bounded
+   :class:`~repro.parallel.pool.TaskPool`; when the backlog limit is
+   reached the request fails fast with :class:`Overloaded`, and a
+   request that waits longer than its deadline fails with
+   :class:`RequestTimeout` (the computation itself keeps running and
+   still populates the cache for the retry).
+
+Every stage is accounted in a :class:`~repro.service.telemetry.Telemetry`
+registry: request/hit/miss/coalesce/reject counters plus queue-wait,
+compute-time and end-to-end latency histograms.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from .. import datasets
+from ..core import parhde, phde, pivotmds
+from ..core.result import LayoutResult
+from ..graph.csr import CSRGraph
+from ..parallel.pool import PoolSaturated, TaskPool
+from .cache import LayoutCache
+from .fingerprint import graph_digest, layout_fingerprint
+from .telemetry import Telemetry
+
+__all__ = [
+    "BadRequest",
+    "LayoutEngine",
+    "LayoutRequest",
+    "LayoutResponse",
+    "Overloaded",
+    "RequestTimeout",
+    "ServiceError",
+    "DEFAULT_ALGORITHMS",
+]
+
+
+class ServiceError(Exception):
+    """Base class for structured serving errors."""
+
+    #: Stable machine-readable error code (also the HTTP error `type`).
+    code = "internal"
+    #: HTTP status the endpoint maps this error to.
+    http_status = 500
+
+
+class BadRequest(ServiceError):
+    """Malformed or unsatisfiable request (unknown graph, bad params)."""
+
+    code = "bad_request"
+    http_status = 400
+
+
+class Overloaded(ServiceError):
+    """Admission control rejected the request; retry with backoff."""
+
+    code = "overloaded"
+    http_status = 503
+
+
+class RequestTimeout(ServiceError):
+    """The request's deadline expired while waiting for the layout."""
+
+    code = "timeout"
+    http_status = 504
+
+
+#: Algorithm registry served by default.
+DEFAULT_ALGORITHMS: dict[str, Callable[..., LayoutResult]] = {
+    "parhde": parhde,
+    "phde": phde,
+    "pivotmds": pivotmds,
+}
+
+#: Extra keyword parameters a request may pass through to the algorithm.
+_ALLOWED_PARAMS = frozenset(
+    {"dims", "pivots", "ortho", "gs_method", "project_basis", "drop_tol"}
+)
+
+
+@dataclass(frozen=True)
+class LayoutRequest:
+    """One layout request, as the HTTP body / CLI flags describe it.
+
+    Attributes
+    ----------
+    graph:
+        Collection name (served by name, e.g. ``"barth"``) or an
+        in-memory :class:`CSRGraph` for library callers.
+    scale / seed:
+        Collection generator knobs (ignored for in-memory graphs;
+        ``seed`` still feeds the algorithm).
+    algorithm:
+        Key into the engine's algorithm registry.
+    s:
+        Subspace dimension (pivot count).
+    params:
+        Optional algorithm pass-through parameters (whitelisted).
+    timeout:
+        Per-request deadline override in seconds (``None`` = engine
+        default).
+    """
+
+    graph: str | CSRGraph
+    scale: str = "small"
+    seed: int = 0
+    algorithm: str = "parhde"
+    s: int = 10
+    params: Mapping[str, Any] = field(default_factory=dict)
+    timeout: float | None = None
+
+
+@dataclass
+class LayoutResponse:
+    """Engine answer: the layout plus serving metadata."""
+
+    fingerprint: str
+    status: str  # "memory-hit" | "disk-hit" | "computed" | "coalesced"
+    result: LayoutResult
+    graph_name: str
+    n: int
+    m: int
+    elapsed: float  # end-to-end seconds inside the engine
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.status.endswith("-hit")
+
+
+class _Flight:
+    """In-flight computation shared by the leader and its followers."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result: LayoutResult | None = None
+        self.error: BaseException | None = None
+
+
+class LayoutEngine:
+    """Serve layout requests with caching, dedup and admission control.
+
+    Parameters
+    ----------
+    cache:
+        Two-tier cache (default: in-memory only, 256 MB).
+    workers:
+        Concurrent layout computations.
+    queue_limit:
+        Computations allowed to wait for a worker before requests are
+        rejected with :class:`Overloaded`.
+    timeout:
+        Default per-request deadline in seconds.
+    graph_loader:
+        ``(name, scale, seed) -> CSRGraph`` resolver for by-name
+        requests (default: :func:`repro.datasets.load`).  Loaded graphs
+        and their digests are cached per engine.
+    algorithms:
+        Algorithm registry override (tests inject slow/counting stubs).
+    telemetry:
+        Metrics registry (default: a fresh one).
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: LayoutCache | None = None,
+        workers: int = 2,
+        queue_limit: int = 8,
+        timeout: float = 60.0,
+        graph_loader: Callable[[str, str, int], CSRGraph] | None = None,
+        algorithms: Mapping[str, Callable[..., LayoutResult]] | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.cache = cache if cache is not None else LayoutCache()
+        self.timeout = timeout
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._algorithms = dict(
+            algorithms if algorithms is not None else DEFAULT_ALGORITHMS
+        )
+        self._graph_loader = graph_loader or (
+            lambda name, scale, seed: datasets.load(name, scale=scale, seed=seed)
+        )
+        self._pool = TaskPool(workers, queue_limit=queue_limit)
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._graphs: dict[tuple[str, str, int], tuple[CSRGraph, str]] = {}
+        self._graphs_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "LayoutEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._pool.queue_depth
+
+    @property
+    def inflight(self) -> int:
+        with self._flights_lock:
+            return len(self._flights)
+
+    def stats(self) -> dict:
+        """Combined telemetry + cache + pool snapshot (``GET /stats``)."""
+        snap = self.telemetry.snapshot()
+        snap["cache"] = self.cache.stats()
+        snap["pool"] = {
+            "workers": self._pool.workers,
+            "queue_limit": self._pool.queue_limit,
+            "outstanding": self._pool.outstanding,
+            "queue_depth": self._pool.queue_depth,
+        }
+        snap["inflight"] = self.inflight
+        return snap
+
+    # -- request path ------------------------------------------------------
+    def submit(self, request: LayoutRequest) -> LayoutResponse:
+        """Serve one request synchronously (the HTTP handler's thread blocks
+        here; concurrency comes from the handler threads + worker pool)."""
+        t0 = time.perf_counter()
+        self.telemetry.inc("requests")
+        try:
+            response = self._serve(request, t0)
+        except ServiceError as exc:
+            self.telemetry.inc(f"errors.{exc.code}")
+            raise
+        self.telemetry.observe("latency_seconds", time.perf_counter() - t0)
+        self.telemetry.inc(f"responses.{response.status}")
+        return response
+
+    # -- internals ---------------------------------------------------------
+    def _resolve_graph(self, request: LayoutRequest) -> tuple[CSRGraph, str, str]:
+        """Return ``(graph, digest, display_name)`` for a request."""
+        if isinstance(request.graph, CSRGraph):
+            g = request.graph
+            return g, graph_digest(g), g.name or "<in-memory>"
+        key = (request.graph, request.scale, int(request.seed))
+        with self._graphs_lock:
+            hit = self._graphs.get(key)
+        if hit is not None:
+            g, digest = hit
+            return g, digest, g.name or request.graph
+        try:
+            g = self._graph_loader(request.graph, request.scale, int(request.seed))
+        except (KeyError, ValueError, OSError) as exc:
+            # str(KeyError) wraps the message in quotes; unwrap args[0].
+            detail = exc.args[0] if exc.args else exc
+            raise BadRequest(str(detail)) from exc
+        digest = graph_digest(g)
+        with self._graphs_lock:
+            self._graphs[key] = (g, digest)
+        return g, digest, g.name or request.graph
+
+    def _validate(self, request: LayoutRequest, g: CSRGraph) -> dict[str, Any]:
+        if request.algorithm not in self._algorithms:
+            raise BadRequest(
+                f"unknown algorithm {request.algorithm!r}; available:"
+                f" {', '.join(sorted(self._algorithms))}"
+            )
+        try:
+            s = int(request.s)
+        except (TypeError, ValueError):
+            raise BadRequest(f"s must be an integer, got {request.s!r}")
+        if not 1 <= s <= max(1, g.n):
+            raise BadRequest(f"s must be in [1, {g.n}] for this graph, got {s}")
+        extra = dict(request.params or {})
+        unknown = set(extra) - _ALLOWED_PARAMS
+        if unknown:
+            raise BadRequest(
+                f"unsupported params {sorted(unknown)}; allowed:"
+                f" {sorted(_ALLOWED_PARAMS)}"
+            )
+        return {"s": s, "seed": int(request.seed), **extra}
+
+    def _compute(self, algo_key: str, g: CSRGraph, kwargs: dict, enqueued: float):
+        self.telemetry.observe("queue_wait_seconds", time.perf_counter() - enqueued)
+        t0 = time.perf_counter()
+        algo = self._algorithms[algo_key]
+        kwargs = dict(kwargs)
+        s = kwargs.pop("s")
+        try:
+            result = algo(g, s, **kwargs)
+        except TypeError as exc:
+            # Parameter accepted by one algorithm but not this one.
+            raise BadRequest(str(exc)) from exc
+        self.telemetry.observe("compute_seconds", time.perf_counter() - t0)
+        return result
+
+    def _serve(self, request: LayoutRequest, t0: float) -> LayoutResponse:
+        g, digest, name = self._resolve_graph(request)
+        kwargs = self._validate(request, g)
+        fingerprint = layout_fingerprint(digest, request.algorithm, kwargs)
+
+        def respond(result: LayoutResult, status: str) -> LayoutResponse:
+            return LayoutResponse(
+                fingerprint=fingerprint,
+                status=status,
+                result=result,
+                graph_name=name,
+                n=g.n,
+                m=g.m,
+                elapsed=time.perf_counter() - t0,
+            )
+
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            result, tier = cached
+            self.telemetry.inc("cache_hits")
+            return respond(result, f"{tier}-hit")
+        self.telemetry.inc("cache_misses")
+
+        # Single-flight: first thread in becomes the leader.
+        with self._flights_lock:
+            flight = self._flights.get(fingerprint)
+            leader = flight is None
+            if leader:
+                flight = self._flights[fingerprint] = _Flight()
+        assert flight is not None
+
+        if leader:
+            try:
+                future = self._pool.submit(
+                    self._compute, request.algorithm, g, kwargs, time.perf_counter()
+                )
+            except PoolSaturated as exc:
+                with self._flights_lock:
+                    self._flights.pop(fingerprint, None)
+                flight.error = Overloaded(str(exc))
+                flight.event.set()
+                self.telemetry.inc("rejected")
+                raise Overloaded(
+                    f"engine overloaded ({self._pool.outstanding} computations"
+                    f" outstanding, queue limit {self._pool.queue_limit});"
+                    " retry later"
+                ) from exc
+            future.add_done_callback(
+                lambda fut: self._finish_flight(fingerprint, flight, fut)
+            )
+        else:
+            self.telemetry.inc("coalesced")
+
+        timeout = request.timeout if request.timeout is not None else self.timeout
+        remaining = timeout - (time.perf_counter() - t0)
+        if remaining <= 0 or not flight.event.wait(remaining):
+            self.telemetry.inc("timeouts")
+            raise RequestTimeout(
+                f"layout not ready within {timeout:.3f}s"
+                " (computation continues; an identical retry may hit the cache)"
+            )
+        if flight.error is not None:
+            err = flight.error
+            if isinstance(err, ServiceError):
+                raise err
+            raise ServiceError(f"layout computation failed: {err}") from err
+        assert flight.result is not None
+        return respond(flight.result, "computed" if leader else "coalesced")
+
+    def _finish_flight(self, fingerprint: str, flight: _Flight, future) -> None:
+        try:
+            result = future.result()
+        except BaseException as exc:  # noqa: BLE001 — reported to waiters
+            self.telemetry.inc("compute_errors")
+            flight.error = exc
+        else:
+            flight.result = result
+            self.cache.put(fingerprint, result)
+        finally:
+            with self._flights_lock:
+                self._flights.pop(fingerprint, None)
+            flight.event.set()

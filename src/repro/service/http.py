@@ -1,0 +1,230 @@
+"""Stdlib JSON endpoint in front of a :class:`LayoutEngine`.
+
+No framework, no new dependencies: ``http.server.ThreadingHTTPServer``
+gives one handler thread per connection, and the engine underneath
+provides the real concurrency discipline (worker pool + admission
+control).  Routes:
+
+``POST /layout``
+    Body ``{"graph": "barth", "scale": "tiny", "algorithm": "parhde",
+    "s": 8, "seed": 0, "params": {...}, "include_coords": true}``.
+    Only ``graph`` is required.  Answers with serving metadata
+    (fingerprint, cache status, elapsed seconds) and, unless
+    ``include_coords`` is false, the ``n x d`` coordinate list.
+``GET /healthz``
+    Liveness probe; always ``{"status": "ok"}`` while the server runs.
+``GET /stats``
+    Telemetry + cache + pool snapshot as JSON, or as an aligned
+    plain-text page with ``?format=text``.
+
+Errors come back as ``{"error": <code>, "message": <detail>}`` with the
+status mapped from the :class:`~repro.service.engine.ServiceError`
+hierarchy (400 bad request, 503 overloaded, 504 timeout).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .engine import BadRequest, LayoutEngine, LayoutRequest, ServiceError
+
+__all__ = ["LayoutServer", "make_server"]
+
+_MAX_BODY = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "parhde-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    @property
+    def engine(self) -> LayoutEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload, *, text: bool = False) -> None:
+        body = (
+            payload.encode() if text else json.dumps(payload).encode()
+        )
+        self.send_response(status)
+        self.send_header(
+            "Content-Type",
+            "text/plain; charset=utf-8" if text else "application/json",
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: ServiceError) -> None:
+        self._send(
+            exc.http_status, {"error": exc.code, "message": str(exc)}
+        )
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif url.path == "/stats":
+            fmt = parse_qs(url.query).get("format", ["json"])[0]
+            stats = self.engine.stats()
+            if fmt == "text":
+                extra = {
+                    "cache": stats["cache"],
+                    "pool": stats["pool"],
+                }
+                self._send(
+                    200,
+                    self.engine.telemetry.render_text(extra) + "\n",
+                    text=True,
+                )
+            else:
+                self._send(200, stats)
+        else:
+            self._send(
+                404, {"error": "not_found", "message": f"no route {url.path}"}
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        url = urlparse(self.path)
+        if url.path != "/layout":
+            self._send(
+                404, {"error": "not_found", "message": f"no route {url.path}"}
+            )
+            return
+        try:
+            body = self._read_request()
+            response = self.engine.submit(body[0])
+        except ServiceError as exc:
+            self._send_error(exc)
+            return
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            self._send(500, {"error": "internal", "message": str(exc)})
+            return
+        include_coords = body[1]
+        payload = {
+            "fingerprint": response.fingerprint,
+            "status": response.status,
+            "cache_hit": response.cache_hit,
+            "graph": response.graph_name,
+            "n": response.n,
+            "m": response.m,
+            "algorithm": response.result.algorithm,
+            "elapsed_seconds": response.elapsed,
+        }
+        if include_coords:
+            payload["coords"] = [
+                [float(x) for x in row] for row in response.result.coords
+            ]
+        self._send(200, payload)
+
+    def _read_request(self) -> tuple[LayoutRequest, bool]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequest("missing request body")
+        if length > _MAX_BODY:
+            raise BadRequest(f"request body exceeds {_MAX_BODY} bytes")
+        try:
+            doc = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise BadRequest("request body must be a JSON object")
+        graph = doc.get("graph")
+        if not isinstance(graph, str) or not graph:
+            raise BadRequest("'graph' (collection name) is required")
+        params = doc.get("params") or {}
+        if not isinstance(params, dict):
+            raise BadRequest("'params' must be an object")
+        try:
+            request = LayoutRequest(
+                graph=graph,
+                scale=str(doc.get("scale", "small")),
+                seed=int(doc.get("seed", 0)),
+                algorithm=str(doc.get("algorithm", "parhde")),
+                s=doc.get("s", 10),
+                params=params,
+                timeout=(
+                    float(doc["timeout"]) if doc.get("timeout") is not None
+                    else None
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad request field: {exc}") from exc
+        return request, bool(doc.get("include_coords", True))
+
+
+class LayoutServer:
+    """A :class:`ThreadingHTTPServer` bound to an engine.
+
+    ``start()`` runs the accept loop in a daemon thread (tests, smoke
+    scripts); ``serve_forever()`` blocks (the CLI).  Construct with
+    ``port=0`` to bind an ephemeral port and read it back from
+    :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        engine: LayoutEngine,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        verbose: bool = False,
+    ):
+        self.engine = engine
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.engine = engine  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Actual ``(host, port)`` after binding."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "LayoutServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="parhde-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "LayoutServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def make_server(
+    engine: LayoutEngine,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+) -> LayoutServer:
+    """Bind (but do not start) a :class:`LayoutServer`."""
+    return LayoutServer(engine, host, port, verbose=verbose)

@@ -1,0 +1,173 @@
+"""Counters and latency histograms for the serving layer.
+
+Dependency-free metrics in the spirit of a Prometheus client: named
+monotonic :class:`Counter`\\ s and bounded-reservoir :class:`Histogram`\\ s
+collected in a :class:`Telemetry` registry.  The registry renders either
+a nested dict (the ``GET /stats`` JSON body) or an aligned plain-text
+page (``GET /stats?format=text``) for eyeballing with ``curl``.
+
+Histograms keep a fixed-size reservoir of the most recent observations
+(plus exact count/sum/min/max over all time), so percentiles reflect
+recent behavior and memory stays bounded no matter how long the server
+runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+__all__ = ["Counter", "Histogram", "Telemetry"]
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Streaming distribution summary with recent-window percentiles."""
+
+    def __init__(self, name: str, reservoir: int = 4096):
+        if reservoir < 1:
+            raise ValueError("reservoir must be >= 1")
+        self.name = name
+        self._lock = threading.Lock()
+        self._recent: deque[float] = deque(maxlen=reservoir)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._recent.append(value)
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) of the recent reservoir (0.0 if empty)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            data = sorted(self._recent)
+        if not data:
+            return 0.0
+        idx = min(len(data) - 1, max(0, round(q / 100 * (len(data) - 1))))
+        return data[idx]
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo = self._min
+            hi = self._max
+            data = sorted(self._recent)
+
+        def pct(q: float) -> float:
+            if not data:
+                return 0.0
+            idx = min(len(data) - 1, max(0, round(q / 100 * (len(data) - 1))))
+            return data[idx]
+
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": lo,
+            "max": hi,
+            "p50": pct(50),
+            "p95": pct(95),
+            "p99": pct(99),
+        }
+
+
+class Telemetry:
+    """Registry of named counters and histograms (create-on-first-use)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: OrderedDict[str, Counter] = OrderedDict()
+        self._histograms: OrderedDict[str, Histogram] = OrderedDict()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name)
+            return h
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> dict:
+        """Nested dict of every metric — the ``GET /stats`` payload."""
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "histograms": {h.name: h.summary() for h in histograms},
+        }
+
+    def render_text(self, extra: dict | None = None) -> str:
+        """Aligned plain-text stats page (``GET /stats?format=text``)."""
+        snap = self.snapshot()
+        lines = ["# counters"]
+        for name, value in snap["counters"].items():
+            lines.append(f"{name:<32} {value}")
+        lines.append("")
+        lines.append("# histograms (seconds)")
+        header = (
+            f"{'name':<28} {'count':>7} {'mean':>9} {'p50':>9} "
+            f"{'p95':>9} {'p99':>9} {'max':>9}"
+        )
+        lines.append(header)
+        for name, s in snap["histograms"].items():
+            lines.append(
+                f"{name:<28} {s['count']:>7} {s['mean']:>9.4f} "
+                f"{s['p50']:>9.4f} {s['p95']:>9.4f} {s['p99']:>9.4f} "
+                f"{s['max']:>9.4f}"
+            )
+        for section, mapping in (extra or {}).items():
+            lines.append("")
+            lines.append(f"# {section}")
+            for name, value in mapping.items():
+                lines.append(f"{name:<32} {value}")
+        return "\n".join(lines)

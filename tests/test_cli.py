@@ -192,3 +192,64 @@ def test_reproduce_runs_one(capsys):
 def test_reproduce_unknown_id():
     with pytest.raises(SystemExit):
         main(["reproduce", "nonexistent_experiment_xyz"])
+
+
+def test_layout_save_and_reuse(tmp_path, capsys):
+    """--save-layout writes an archive that zoom/partition/export-html reuse."""
+    archive = tmp_path / "barth.npz"
+    rc = main(
+        ["layout", "barth", "--scale", "tiny", "-s", "6",
+         "--save-layout", str(archive)]
+    )
+    assert rc == 0
+    assert archive.exists()
+    # Saving suppresses the stdout coordinate dump.
+    assert capsys.readouterr().out == ""
+
+    from repro.core import load_layout
+
+    saved = load_layout(archive)
+    assert saved.params["s"] == 6 and isinstance(saved.params["s"], int)
+
+    rc = main(
+        ["partition", "barth", "--scale", "tiny", "-k", "2",
+         "--layout", str(archive)]
+    )
+    assert rc == 0
+    labels = np.loadtxt(
+        capsys.readouterr().out.strip().splitlines(), dtype=int
+    )
+    assert set(labels) == {0, 1}
+
+    rc = main(
+        ["zoom", "barth", "--scale", "tiny", "--center", "0", "--hops", "3",
+         "--layout", str(archive)]
+    )
+    assert rc == 0
+    coords = np.loadtxt(capsys.readouterr().out.strip().splitlines())
+    assert coords.ndim == 2 and coords.shape[1] == 2
+    # The zoomed coordinates are the saved layout restricted to the ball.
+    from repro import datasets
+    from repro.core import khop_subgraph
+
+    g = datasets.load("barth", scale="tiny", seed=0)
+    _, ids = khop_subgraph(g, 0, 3)
+    np.testing.assert_allclose(coords, saved.coords[ids], atol=1e-6)
+
+    html = tmp_path / "view.html"
+    rc = main(
+        ["export-html", "barth", "--scale", "tiny", str(html),
+         "--layout", str(archive)]
+    )
+    assert rc == 0
+    assert html.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_layout_flag_rejects_mismatched_graph(tmp_path):
+    archive = tmp_path / "eco.npz"
+    assert main(
+        ["layout", "ecology", "--scale", "tiny", "-s", "4",
+         "--save-layout", str(archive)]
+    ) == 0
+    with pytest.raises(SystemExit):
+        main(["zoom", "barth", "--scale", "tiny", "--layout", str(archive)])

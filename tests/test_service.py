@@ -1,0 +1,480 @@
+"""Tests for the layout-serving subsystem (:mod:`repro.service`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import load_layout, parhde, save_layout
+from repro.core.result import LayoutResult
+from repro.graph import from_edges, grid2d
+from repro.parallel import PoolSaturated, TaskPool
+from repro.service import (
+    BadRequest,
+    LayoutCache,
+    LayoutEngine,
+    LayoutRequest,
+    Overloaded,
+    RequestTimeout,
+    canonical_params,
+    graph_digest,
+    layout_fingerprint,
+    layout_nbytes,
+    make_server,
+)
+
+
+def _fake_layout(n: int = 16, fill: float = 1.0) -> LayoutResult:
+    """A small synthetic LayoutResult with a predictable byte size."""
+    return LayoutResult(
+        coords=np.full((n, 2), fill),
+        algorithm="fake",
+        B=np.zeros((n, 2)),
+        S=np.zeros((n, 2)),
+        eigenvalues=np.zeros(2),
+        pivots=np.arange(2, dtype=np.int64),
+        params={"s": 2, "seed": 0},
+    )
+
+
+# ---------------------------------------------------------------------------
+# fingerprint
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_construction_order_invariance(self):
+        u = np.array([0, 1, 2, 3, 0])
+        v = np.array([1, 2, 3, 0, 2])
+        a = from_edges(5, u, v)
+        # Same edges: reversed order, flipped direction, duplicates.
+        b = from_edges(5, np.r_[v[::-1], u], np.r_[u[::-1], v])
+        assert graph_digest(a) == graph_digest(b)
+
+    def test_structure_sensitivity(self):
+        a = grid2d(5, 5)
+        b = grid2d(5, 6)
+        assert graph_digest(a) != graph_digest(b)
+
+    def test_name_and_dtype_independence(self):
+        g = grid2d(4, 4)
+        renamed = g.with_name("other")
+        assert graph_digest(g) == graph_digest(renamed)
+
+    def test_weights_change_digest(self):
+        g = grid2d(4, 4)
+        w = g.with_weights(np.full(g.nnz, 2.0))
+        assert graph_digest(g) != graph_digest(w)
+
+    def test_param_change_changes_fingerprint(self):
+        g = grid2d(5, 5)
+        base = layout_fingerprint(g, "parhde", {"s": 8, "seed": 0})
+        assert base == layout_fingerprint(g, "parhde", {"seed": 0, "s": 8})
+        assert base != layout_fingerprint(g, "parhde", {"s": 9, "seed": 0})
+        assert base != layout_fingerprint(g, "phde", {"s": 8, "seed": 0})
+
+    def test_numpy_scalars_normalize(self):
+        assert canonical_params({"s": np.int64(8), "tol": np.float64(0.5)}) == (
+            canonical_params({"s": 8, "tol": 0.5})
+        )
+        g = grid2d(4, 4)
+        assert layout_fingerprint(g, "parhde", {"s": np.int64(8)}) == (
+            layout_fingerprint(g, "parhde", {"s": 8})
+        )
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+
+class TestLayoutCache:
+    def test_lru_byte_budget_eviction(self):
+        one = layout_nbytes(_fake_layout())
+        cache = LayoutCache(max_bytes=2 * one)
+        cache.put("a", _fake_layout(fill=1))
+        cache.put("b", _fake_layout(fill=2))
+        assert len(cache) == 2
+        cache.put("c", _fake_layout(fill=3))  # evicts "a" (LRU)
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("b") is not None and cache.get("c") is not None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["bytes"] <= cache.max_bytes
+
+    def test_lru_order_updates_on_get(self):
+        one = layout_nbytes(_fake_layout())
+        cache = LayoutCache(max_bytes=2 * one)
+        cache.put("a", _fake_layout())
+        cache.put("b", _fake_layout())
+        cache.get("a")  # refresh "a"; "b" becomes LRU
+        cache.put("c", _fake_layout())
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+
+    def test_oversize_entry_not_cached_in_memory(self):
+        cache = LayoutCache(max_bytes=16)
+        cache.put("big", _fake_layout(n=64))
+        assert len(cache) == 0
+
+    def test_disk_tier_spill_and_promote(self, tmp_path, tiny_mesh):
+        res = parhde(tiny_mesh, s=6, seed=0)
+        one = layout_nbytes(res)
+        cache = LayoutCache(max_bytes=one + 1, disk_dir=tmp_path / "tier2")
+        cache.put("x", res)
+        cache.put("y", res)  # evicts "x" from memory, spills to disk
+        hit = cache.get("x")
+        assert hit is not None
+        result, tier = hit
+        assert tier == "disk"
+        np.testing.assert_array_equal(result.coords, res.coords)
+        # Promoted back into memory: second read is a memory hit.
+        _, tier2 = cache.get("x")
+        assert tier2 == "memory"
+        stats = cache.stats()
+        assert stats["disk_hits"] == 1 and stats["memory_hits"] >= 1
+
+    def test_disk_tier_survives_new_cache_instance(self, tmp_path, tiny_mesh):
+        res = parhde(tiny_mesh, s=6, seed=0)
+        cache = LayoutCache(max_bytes=10**9, disk_dir=tmp_path / "tier2")
+        cache.put("warm", res)
+        fresh = LayoutCache(max_bytes=10**9, disk_dir=tmp_path / "tier2")
+        hit = fresh.get("warm")
+        assert hit is not None and hit[1] == "disk"
+
+    def test_miss_accounting(self):
+        cache = LayoutCache(max_bytes=1024)
+        assert cache.get("nope") is None
+        assert cache.stats()["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# task pool
+# ---------------------------------------------------------------------------
+
+
+class TestTaskPool:
+    def test_runs_tasks(self):
+        with TaskPool(2) as pool:
+            futures = [pool.submit(lambda i=i: i * i) for i in range(8)]
+            assert [f.result() for f in futures] == [i * i for i in range(8)]
+
+    def test_saturation(self):
+        release = threading.Event()
+        with TaskPool(1, queue_limit=1) as pool:
+            pool.submit(release.wait)  # occupies the worker
+            pool.submit(release.wait)  # fills the queue
+            with pytest.raises(PoolSaturated):
+                pool.submit(release.wait)
+            release.set()
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+
+def _tiny_loader(name, scale, seed):
+    if name == "grid":
+        return grid2d(8 + seed, 8)
+    raise KeyError(name)
+
+
+class TestLayoutEngine:
+    def test_cache_hit_roundtrip(self):
+        with LayoutEngine(graph_loader=_tiny_loader, workers=2) as eng:
+            req = LayoutRequest(graph="grid", s=6)
+            cold = eng.submit(req)
+            warm = eng.submit(req)
+            assert cold.status == "computed"
+            assert warm.status == "memory-hit"
+            assert warm.fingerprint == cold.fingerprint
+            np.testing.assert_array_equal(
+                warm.result.coords, cold.result.coords
+            )
+            snap = eng.stats()
+            assert snap["counters"]["cache_hits"] == 1
+            assert snap["cache"]["hits"] == 1
+
+    def test_unknown_graph_and_algo(self):
+        with LayoutEngine(graph_loader=_tiny_loader) as eng:
+            with pytest.raises(BadRequest):
+                eng.submit(LayoutRequest(graph="nope"))
+            with pytest.raises(BadRequest):
+                eng.submit(LayoutRequest(graph="grid", algorithm="nope"))
+            with pytest.raises(BadRequest):
+                eng.submit(LayoutRequest(graph="grid", s=10**9))
+            with pytest.raises(BadRequest):
+                eng.submit(
+                    LayoutRequest(graph="grid", params={"not_a_param": 1})
+                )
+
+    def test_single_flight_dedup(self):
+        calls = []
+        gate = threading.Event()
+
+        def slow_algo(g, s, **kwargs):
+            calls.append(1)
+            gate.wait(5)
+            return _fake_layout(g.n)
+
+        with LayoutEngine(
+            graph_loader=_tiny_loader,
+            algorithms={"slow": slow_algo},
+            workers=2,
+            queue_limit=32,
+            timeout=10,
+        ) as eng:
+            results: list = [None] * 8
+            errors: list = []
+
+            def worker(i):
+                try:
+                    results[i] = eng.submit(
+                        LayoutRequest(graph="grid", algorithm="slow", s=4)
+                    )
+                except Exception as exc:  # pragma: no cover - fail loudly
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            # Wait until every thread has either joined the flight or is
+            # the leader, then open the gate.
+            deadline = time.time() + 5
+            while eng.inflight < 1 and time.time() < deadline:
+                time.sleep(0.005)
+            time.sleep(0.05)
+            gate.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert not errors
+            assert sum(calls) == 1, "single-flight must dedupe the compute"
+            statuses = {r.status for r in results}
+            assert statuses <= {"computed", "coalesced", "memory-hit"}
+            assert sum(r.status == "computed" for r in results) == 1
+
+    def test_admission_control_burst(self):
+        """64-request burst, 2 workers, queue depth 8: structured rejects."""
+        release = threading.Event()
+
+        def blocking_algo(g, s, **kwargs):
+            release.wait(10)
+            return _fake_layout(g.n)
+
+        with LayoutEngine(
+            graph_loader=_tiny_loader,
+            algorithms={"block": blocking_algo},
+            workers=2,
+            queue_limit=8,
+            timeout=20,
+        ) as eng:
+            outcomes: list = [None] * 64
+
+            def worker(i):
+                try:
+                    # Distinct seeds -> distinct fingerprints -> no dedup.
+                    outcomes[i] = eng.submit(
+                        LayoutRequest(
+                            graph="grid", algorithm="block", s=4, seed=i % 32
+                        )
+                    ).status
+                except Overloaded:
+                    outcomes[i] = "overloaded"
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(64)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.3)
+            release.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert None not in outcomes, "every request must resolve"
+            rejected = outcomes.count("overloaded")
+            assert rejected > 0, "burst must trip admission control"
+            served = len(outcomes) - rejected
+            assert served >= eng._pool.workers
+            assert eng.stats()["counters"]["rejected"] == rejected
+
+    def test_timeout_then_cached_retry(self):
+        started = threading.Event()
+
+        def slow_algo(g, s, **kwargs):
+            started.set()
+            time.sleep(0.3)
+            return _fake_layout(g.n)
+
+        with LayoutEngine(
+            graph_loader=_tiny_loader,
+            algorithms={"slow": slow_algo},
+            workers=1,
+            timeout=0.05,
+        ) as eng:
+            req = LayoutRequest(graph="grid", algorithm="slow", s=4)
+            with pytest.raises(RequestTimeout):
+                eng.submit(req)
+            assert started.wait(5)
+            # The abandoned computation still completes and lands in the
+            # cache; wait for the flight to drain, then retry.
+            deadline = time.time() + 5
+            while eng.inflight > 0 and time.time() < deadline:
+                time.sleep(0.02)
+            assert eng.inflight == 0
+            resp = eng.submit(req)
+            assert resp.cache_hit
+            assert eng.stats()["counters"]["timeouts"] >= 1
+
+    def test_compute_error_propagates(self):
+        def broken(g, s, **kwargs):
+            raise RuntimeError("boom")
+
+        with LayoutEngine(
+            graph_loader=_tiny_loader, algorithms={"broken": broken}
+        ) as eng:
+            from repro.service import ServiceError
+
+            with pytest.raises(ServiceError, match="boom"):
+                eng.submit(LayoutRequest(graph="grid", algorithm="broken"))
+            # Failed computations are not cached; engine stays usable.
+            assert eng.inflight == 0
+
+
+# ---------------------------------------------------------------------------
+# HTTP endpoint
+# ---------------------------------------------------------------------------
+
+
+def _post(url: str, body: dict) -> tuple[int, dict]:
+    req = urllib.request.Request(
+        url + "/layout",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestHTTP:
+    @pytest.fixture()
+    def server(self):
+        eng = LayoutEngine(graph_loader=_tiny_loader, workers=2, timeout=30)
+        srv = make_server(eng, port=0).start()
+        yield srv
+        srv.shutdown()
+        eng.close()
+
+    def test_healthz(self, server):
+        with urllib.request.urlopen(server.url + "/healthz", timeout=10) as r:
+            assert json.loads(r.read()) == {"status": "ok"}
+
+    def test_layout_cold_then_hot(self, server):
+        body = {"graph": "grid", "s": 6, "scale": "tiny"}
+        status, cold = _post(server.url, body)
+        assert status == 200
+        assert cold["status"] == "computed"
+        assert len(cold["coords"]) == cold["n"]
+        status, warm = _post(server.url, body)
+        assert status == 200
+        assert warm["status"] == "memory-hit" and warm["cache_hit"]
+        assert warm["fingerprint"] == cold["fingerprint"]
+        with urllib.request.urlopen(server.url + "/stats", timeout=10) as r:
+            stats = json.loads(r.read())
+        assert stats["counters"]["cache_hits"] == 1
+        assert stats["cache"]["hits"] == 1
+
+    def test_stats_text_page(self, server):
+        _post(server.url, {"graph": "grid", "s": 4})
+        url = server.url + "/stats?format=text"
+        with urllib.request.urlopen(url, timeout=10) as r:
+            text = r.read().decode()
+        assert "# counters" in text and "latency_seconds" in text
+
+    def test_bad_requests(self, server):
+        status, err = _post(server.url, {"graph": "nope"})
+        assert status == 400 and err["error"] == "bad_request"
+        status, err = _post(server.url, {})
+        assert status == 400
+        req = urllib.request.Request(
+            server.url + "/layout", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 400
+
+    def test_unknown_route(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+        assert exc.value.code == 404
+
+    def test_include_coords_false(self, server):
+        status, resp = _post(
+            server.url, {"graph": "grid", "s": 4, "include_coords": False}
+        )
+        assert status == 200 and "coords" not in resp
+
+
+# ---------------------------------------------------------------------------
+# serialize round-trip regressions the disk tier depends on
+# ---------------------------------------------------------------------------
+
+
+class TestSerializeRegressions:
+    def test_params_preserve_numeric_types(self, tmp_path):
+        res = _fake_layout()
+        res.params = {
+            "s": np.int64(8),
+            "tol": np.float64(0.25),
+            "weighted": np.bool_(False),
+            "offsets": np.array([1, 2, 3]),
+            "name": "x",
+        }
+        p = tmp_path / "layout.npz"
+        save_layout(res, p)
+        back = load_layout(p)
+        assert back.params["s"] == 8 and isinstance(back.params["s"], int)
+        assert back.params["tol"] == 0.25
+        assert isinstance(back.params["tol"], float)
+        assert back.params["weighted"] is False
+        assert back.params["offsets"] == [1, 2, 3]
+        assert back.params["name"] == "x"
+
+    def test_future_version_clear_error(self, tmp_path):
+        res = _fake_layout()
+        p = tmp_path / "layout.npz"
+        save_layout(res, p)
+        data = dict(np.load(p, allow_pickle=False))
+        data["format_version"] = np.int64(99)
+        np.savez_compressed(p, **data)
+        with pytest.raises(ValueError, match="newer"):
+            load_layout(p)
+
+    def test_saved_then_loaded_then_served(self, tmp_path, tiny_mesh):
+        """A CLI-saved archive is a valid disk-cache entry for the engine."""
+        res = parhde(tiny_mesh, s=6, seed=0)
+        fp = layout_fingerprint(tiny_mesh, "parhde", {"s": 6, "seed": 0})
+        tier2 = tmp_path / "tier2"
+        tier2.mkdir()
+        save_layout(res, tier2 / f"{fp}.npz")
+
+        cache = LayoutCache(max_bytes=10**9, disk_dir=tier2)
+        with LayoutEngine(
+            cache=cache,
+            graph_loader=lambda name, scale, seed: tiny_mesh,
+        ) as eng:
+            resp = eng.submit(LayoutRequest(graph="mesh", s=6, seed=0))
+            assert resp.status == "disk-hit"
+            np.testing.assert_allclose(resp.result.coords, res.coords)
