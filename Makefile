@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast serve-smoke examples results clean
+.PHONY: install test bench bench-fast serve-smoke stream-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,9 +11,16 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Boot the layout server on an ephemeral port, issue a layout + stats
-# request, and assert the second identical request is a cache hit.
+# request, assert the second identical request is a cache hit, then
+# update the graph and assert the cached layout misses.
 serve-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/serve_smoke.py
+
+# Dynamic-layout acceptance: a 32-edge delta on a 10k-vertex graph must
+# repair incrementally with >= 5x fewer modeled BFS work units than a
+# full relayout while matching its stress within 5%.
+stream-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/stream_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,138 @@
+"""Dynamic-layout update latency: incremental repair vs full recompute.
+
+Replays a deterministic stream of small edge deltas (triadic-closure
+inserts plus random deletes, the realistic dynamic-graph regime) through
+a :class:`~repro.stream.StreamSession` and reports
+
+* median / p95 update latency against the latency of a from-scratch
+  ``parhde`` recompute on the same edited graph;
+* the *repair hit-rate* — the fraction of updates the drift/staleness
+  policy kept on the cheap incremental path;
+* the modeled BFS work ratio (full relayout work units / median repair
+  work units per the kernel-cost ledger), the machine-independent view
+  of the same speedup.
+
+Results land in ``benchmarks/results/stream_updates.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import parhde
+from repro.stream import StreamSession, bfs_work_units, edge_delta
+
+from conftest import BENCH_SCALE, load_cached
+
+GRAPH = "barth"
+S = 10
+N_UPDATES = 24
+EDITS_PER_UPDATE = 8  # 4 deletes + 4 triadic-closure inserts
+SEED = 11
+
+
+def _build_deltas(g, rng):
+    """Deterministic update stream against the *evolving* edge set."""
+    edges = set(zip(*(a.tolist() for a in g.edge_list())))
+    adj = {u: set(map(int, g.neighbors(u))) for u in range(g.n)}
+    deltas = []
+    for _ in range(N_UPDATES):
+        inserts, deletes = [], []
+        touched = set()  # one batch may not insert AND delete the same edge
+        pool = sorted(edges)
+        for i in rng.choice(len(pool), size=EDITS_PER_UPDATE // 2, replace=False):
+            u, v = pool[int(i)]
+            # never orphan a vertex: layouts need a connected graph
+            if len(adj[u]) <= 1 or len(adj[v]) <= 1:
+                continue
+            edges.discard((u, v))
+            adj[u].discard(v)
+            adj[v].discard(u)
+            touched.add((u, v))
+            deletes.append((u, v))
+        while len(inserts) < EDITS_PER_UPDATE // 2:
+            u = int(rng.integers(g.n))
+            if not adj[u]:
+                continue
+            mid = sorted(adj[u])[int(rng.integers(len(adj[u])))]
+            if not adj[mid]:
+                continue
+            v = sorted(adj[mid])[int(rng.integers(len(adj[mid])))]
+            a, b = min(u, v), max(u, v)
+            if a == b or (a, b) in edges or (a, b) in touched:
+                continue
+            touched.add((a, b))
+            edges.add((a, b))
+            adj[a].add(b)
+            adj[b].add(a)
+            inserts.append((a, b))
+        deltas.append(edge_delta(inserts=inserts, deletes=deletes))
+    return deltas
+
+
+def _replay() -> dict:
+    g = load_cached(GRAPH)
+    rng = np.random.default_rng(SEED)
+    deltas = _build_deltas(g, rng)
+
+    session = StreamSession(g, S, seed=0)
+    latencies, repair_work, repairs = [], [], 0
+    for delta in deltas:
+        try:
+            update = session.update(delta)
+        except ValueError:
+            continue  # a delta that would disconnect the graph
+        latencies.append(update.elapsed)
+        if update.mode == "repair":
+            repairs += 1
+            repair_work.append(bfs_work_units(update.ledger))
+
+    # full-recompute baseline on the final edited graph
+    edited = session.graph
+    t0 = time.perf_counter()
+    full = parhde(edited, S, seed=0)
+    full_latency = time.perf_counter() - t0
+
+    lat = np.asarray(latencies)
+    return {
+        "n": g.n,
+        "m": g.m,
+        "updates": len(lat),
+        "repairs": repairs,
+        "hit_rate": repairs / max(len(lat), 1),
+        "p50": float(np.median(lat)),
+        "p95": float(np.quantile(lat, 0.95)),
+        "full_latency": full_latency,
+        "work_full": bfs_work_units(full.ledger),
+        "work_repair_p50": float(np.median(repair_work)) if repair_work else 0.0,
+    }
+
+
+def test_stream_update_latency(benchmark, report):
+    stats = benchmark.pedantic(_replay, rounds=1, iterations=1)
+    assert stats["updates"] > 0
+    assert stats["hit_rate"] >= 0.5, (
+        "small triadic deltas should mostly stay on the repair path"
+    )
+
+    speedup = stats["full_latency"] / max(stats["p50"], 1e-9)
+    work_ratio = stats["work_full"] / max(stats["work_repair_p50"], 1e-9)
+    lines = [
+        f"{'graph':<26} {GRAPH}@{BENCH_SCALE} (n={stats['n']}, m={stats['m']})",
+        f"{'updates replayed':<26} {stats['updates']}"
+        f" ({EDITS_PER_UPDATE} edits each)",
+        f"{'repair hit-rate':<26} {stats['hit_rate'] * 100:.1f}%"
+        f" ({stats['repairs']}/{stats['updates']})",
+        "",
+        f"{'update latency p50':<26} {stats['p50'] * 1000:.2f} ms",
+        f"{'update latency p95':<26} {stats['p95'] * 1000:.2f} ms",
+        f"{'full recompute latency':<26} {stats['full_latency'] * 1000:.2f} ms",
+        f"{'median latency speedup':<26} {speedup:.1f}x",
+        "",
+        f"{'BFS work, full relayout':<26} {stats['work_full']:.3g}",
+        f"{'BFS work, repair p50':<26} {stats['work_repair_p50']:.3g}",
+        f"{'modeled work ratio':<26} {work_ratio:.1f}x",
+    ]
+    report("stream_updates", "\n".join(lines))

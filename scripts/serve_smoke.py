@@ -9,7 +9,10 @@ port, then exercises the serving contract end to end over actual HTTP:
 3. an identical second request is served from cache — verified both via
    the ``GET /stats`` hit counter and by requiring a large cold/warm
    speedup;
-4. ``GET /stats?format=text`` renders the plain-text page.
+4. ``POST /update`` bumps the graph epoch, after which the same layout
+   request MUST miss the cache (fresh fingerprint, recomputed layout) —
+   the dynamic-graph staleness guarantee;
+5. ``GET /stats?format=text`` renders the plain-text page.
 
 Exits nonzero with a diagnostic on any violation, so CI can gate on it.
 """
@@ -26,9 +29,9 @@ GRAPH = {"graph": "barth", "scale": "small", "s": 10, "seed": 0}
 MIN_SPEEDUP = 10.0
 
 
-def _post(url: str, body: dict) -> dict:
+def _post(url: str, body: dict, route: str = "/layout") -> dict:
     req = urllib.request.Request(
-        url + "/layout",
+        url + route,
         data=json.dumps(body).encode(),
         headers={"Content-Type": "application/json"},
     )
@@ -64,6 +67,35 @@ def main() -> int:
         if speedup < MIN_SPEEDUP:
             failures.append(
                 f"cache speedup {speedup:.1f}x < required {MIN_SPEEDUP}x"
+            )
+
+        # Dynamic-graph round trip: update the graph, then require the
+        # previously cached layout to miss (epoch moved the fingerprint).
+        n = int(cold["n"])
+        update = _post(
+            url,
+            {
+                "graph": GRAPH["graph"],
+                "scale": GRAPH["scale"],
+                "seed": GRAPH["seed"],
+                "inserts": [[0, n // 2]],
+            },
+            route="/update",
+        )
+        if update.get("epoch") != 1:
+            failures.append(f"update epoch {update.get('epoch')!r}, expected 1")
+        after = _post(url, GRAPH)
+        if after.get("status") != "computed":
+            failures.append(
+                "post-update layout served stale"
+                f" (status {after.get('status')!r}, expected 'computed')"
+            )
+        if after.get("fingerprint") == cold.get("fingerprint"):
+            failures.append("fingerprint did not change after graph update")
+        if after.get("m") != update.get("m"):
+            failures.append(
+                f"post-update layout m={after.get('m')} but update"
+                f" reported m={update.get('m')}"
             )
 
         stats = json.loads(_get(url, "/stats"))

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Smoke test for the dynamic-layout subsystem (``make stream-smoke``).
+
+Checks the ISSUE acceptance criterion end to end on a 10k-vertex
+generator graph: a 32-edge delta handled by a
+:class:`~repro.stream.StreamSession` must
+
+1. take the incremental *repair* path (not escalate to a relayout);
+2. perform at least ``MIN_WORK_RATIO``x fewer modeled BFS work units
+   (per the :class:`~repro.parallel.costs.Ledger`) than a from-scratch
+   ``parhde`` run on the edited graph;
+3. land within ``MAX_STRESS_RATIO`` of the from-scratch layout's
+   sampled stress;
+4. keep the repaired distance matrix *exactly* equal to fresh
+   traversals from the session's pivots on the edited graph.
+
+Exits nonzero with a diagnostic on any violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.bfs.runner import run_sources
+from repro.core.hde import parhde
+from repro.graph import preprocess
+from repro.graph.generators import watts_strogatz
+from repro.metrics.stress import sampled_stress
+from repro.stream import StreamSession, bfs_work_units, edge_delta
+
+N = 10_000
+S = 10
+DELTA_EDGES = 32  # 16 deletes + 16 inserts
+MIN_WORK_RATIO = 5.0
+MAX_STRESS_RATIO = 1.05
+SEED = 5
+
+
+def build_delta(g, rng):
+    """16 random edge deletions + 16 two-hop shortcut insertions.
+
+    Two-hop inserts keep each repair region small — the realistic
+    dynamic-graph regime (triadic closure), as opposed to random
+    long-range shortcuts which perturb O(n) distances each.
+    """
+    eu, ev = g.edge_list()
+    idx = rng.choice(len(eu), size=DELTA_EDGES // 2, replace=False)
+    deletes = [(int(eu[i]), int(ev[i])) for i in idx]
+    banned = set(deletes)
+    inserts = []
+    while len(inserts) < DELTA_EDGES // 2:
+        u = int(rng.integers(g.n))
+        nbrs = g.neighbors(u)
+        mid = int(nbrs[rng.integers(len(nbrs))])
+        nbrs2 = g.neighbors(mid)
+        v = int(nbrs2[rng.integers(len(nbrs2))])
+        a, b = min(u, v), max(u, v)
+        if a == b or g.has_edge(a, b) or (a, b) in banned:
+            continue
+        banned.add((a, b))
+        inserts.append((a, b))
+    return edge_delta(inserts=inserts, deletes=deletes)
+
+
+def main() -> int:
+    failures: list[str] = []
+    rng = np.random.default_rng(SEED)
+    g = preprocess(watts_strogatz(N, k=8, p=0.03, seed=SEED))
+    print(f"stream-smoke: graph n={g.n} m={g.m}")
+
+    t0 = time.perf_counter()
+    session = StreamSession(g, S, seed=0)
+    print(f"stream-smoke: initial layout {time.perf_counter() - t0:.2f}s")
+
+    delta = build_delta(g, rng)
+    update = session.update(delta)
+    work_update = bfs_work_units(update.ledger)
+    print(
+        f"stream-smoke: update mode={update.mode} drift={update.drift:.4f}"
+        f" edges_examined={update.edges_examined}"
+        f" latency={update.elapsed * 1e3:.1f}ms"
+    )
+    if update.mode != "repair":
+        failures.append(
+            f"32-edge delta escalated to {update.mode} ({update.reason});"
+            " expected incremental repair"
+        )
+
+    edited = session.graph
+    fresh = parhde(edited, S, seed=0)
+    work_full = bfs_work_units(fresh.ledger)
+    ratio = work_full / max(work_update, 1e-12)
+    print(
+        f"stream-smoke: BFS work units — update {work_update:.0f},"
+        f" full relayout {work_full:.0f} ({ratio:.1f}x)"
+    )
+    if ratio < MIN_WORK_RATIO:
+        failures.append(
+            f"modeled BFS work ratio {ratio:.1f}x < required"
+            f" {MIN_WORK_RATIO}x"
+        )
+
+    ms = run_sources(edited, session.pivots)
+    if not np.array_equal(ms.distances, session.B):
+        bad = int(np.count_nonzero(ms.distances != session.B))
+        failures.append(
+            f"repaired B deviates from fresh traversals in {bad} entries"
+        )
+
+    stress_session = sampled_stress(edited, session.coords, samples=8, seed=0)
+    stress_fresh = sampled_stress(edited, fresh.coords, samples=8, seed=0)
+    sratio = stress_session / stress_fresh
+    print(
+        f"stream-smoke: stress — session {stress_session:.4f},"
+        f" from-scratch {stress_fresh:.4f} (ratio {sratio:.3f})"
+    )
+    if sratio > MAX_STRESS_RATIO:
+        failures.append(
+            f"stress ratio {sratio:.3f} > allowed {MAX_STRESS_RATIO}"
+        )
+
+    for failure in failures:
+        print(f"stream-smoke: FAIL — {failure}", file=sys.stderr)
+    if not failures:
+        print("stream-smoke: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from . import (
     parallel,
     partition,
     sssp,
+    stream,
 )
 from .core import (
     LayoutResult,
@@ -76,5 +77,6 @@ __all__ = [
     "drawing",
     "metrics",
     "datasets",
+    "stream",
     "__version__",
 ]

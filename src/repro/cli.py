@@ -25,6 +25,10 @@ Subcommands
     Long-running layout server: content-addressed caching, request
     coalescing, admission control, and a JSON HTTP endpoint
     (see :mod:`repro.service`).
+``stream``
+    Replay an edge-event file through a dynamic layout session
+    (:mod:`repro.stream`), printing per-update mode, drift, modeled BFS
+    work and latency.
 ``reproduce``
     Run the paper-reproduction benchmarks (all of them, or by table /
     figure id) via pytest-benchmark.
@@ -194,6 +198,51 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
 
+    p_stream = sub.add_parser(
+        "stream",
+        help="replay an edge-event file through a dynamic layout session",
+    )
+    _add_graph_args(p_stream)
+    p_stream.add_argument(
+        "events",
+        help="edge-event file: '+ u v [w]' inserts, '- u v' deletes,"
+        " '---' batch boundaries, '#' comments",
+    )
+    p_stream.add_argument("-s", "--subspace", type=int, default=10)
+    p_stream.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="events per update when the file has no '---' boundaries",
+    )
+    p_stream.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.10,
+        help="B-entry change fraction that escalates to a full relayout",
+    )
+    p_stream.add_argument(
+        "--staleness-limit",
+        type=int,
+        default=64,
+        help="consecutive repairs before a warm full relayout",
+    )
+    p_stream.add_argument(
+        "--layout",
+        metavar="FILE.npz",
+        help="warm-start from a saved layout archive (include_subspace)",
+    )
+    p_stream.add_argument(
+        "--save-layout",
+        metavar="FILE.npz",
+        help="save the final frame (warm-startable archive)",
+    )
+    p_stream.add_argument(
+        "--strict",
+        action="store_true",
+        help="error on no-op edits instead of skipping them",
+    )
+
     p_rep = sub.add_parser(
         "reproduce", help="run the paper-reproduction benchmarks"
     )
@@ -229,6 +278,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "gaps":
         print(fibonacci_histogram(g).format())
         return 0
+
+    if args.command == "stream":
+        return _stream(g, args, parser)
 
     if args.command == "layout":
         algo = _ALGOS[args.algo]
@@ -429,7 +481,8 @@ def _serve(args) -> int:
         file=sys.stderr,
     )
     print(
-        "routes: POST /layout  GET /healthz  GET /stats[?format=text]",
+        "routes: POST /layout  POST /update  GET /healthz"
+        "  GET /stats[?format=text]",
         file=sys.stderr,
     )
     try:
@@ -439,6 +492,106 @@ def _serve(args) -> int:
     finally:
         server.shutdown()
         engine.close()
+    return 0
+
+
+def _stream(g, args, parser) -> int:
+    import statistics
+    import time
+
+    from .stream import (
+        EdgeDelta,
+        StreamPolicy,
+        StreamSession,
+        bfs_work_units,
+        read_events,
+    )
+
+    try:
+        events = read_events(args.events)
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot read events {args.events!r}: {exc}")
+    # Batches: explicit '---' boundaries win; otherwise chunk by --batch.
+    batches: list[list[tuple]] = [[]]
+    if any(ev == ("|",) for ev in events):
+        for ev in events:
+            if ev == ("|",):
+                batches.append([])
+            else:
+                batches[-1].append(ev)
+    else:
+        if args.batch < 1:
+            parser.error("--batch must be >= 1")
+        for i in range(0, len(events), args.batch):
+            if batches == [[]]:
+                batches = []
+            batches.append(events[i : i + args.batch])
+    batches = [b for b in batches if b]
+    if not batches:
+        parser.error(f"no events in {args.events!r}")
+
+    policy = StreamPolicy(
+        drift_threshold=args.drift_threshold,
+        staleness_limit=args.staleness_limit,
+    )
+    t0 = time.perf_counter()
+    if args.layout:
+        try:
+            session = StreamSession.from_layout(
+                g, args.layout, policy=policy
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot warm-start from {args.layout!r}: {exc}")
+    else:
+        session = StreamSession(
+            g, args.subspace, seed=args.seed, policy=policy
+        )
+    print(
+        f"initial layout: {time.perf_counter() - t0:.3f}s"
+        f" (s={session.s}, n={session.n})",
+        file=sys.stderr,
+    )
+
+    latencies: list[float] = []
+    rejected = 0
+    for i, batch in enumerate(batches):
+        try:
+            delta = EdgeDelta.from_events(batch)
+        except ValueError as exc:
+            parser.error(f"bad batch {i}: {exc}")
+        try:
+            up = session.update(delta, strict=args.strict)
+        except ValueError as exc:
+            rejected += 1
+            print(f"update {i}: rejected ({exc})", file=sys.stderr)
+            continue
+        latencies.append(up.elapsed)
+        print(
+            f"update {i}: mode={up.mode} reason={up.reason}"
+            f" edits={up.applied_edits} drift={up.drift:.4f}"
+            f" bfs_work={bfs_work_units(up.ledger):.0f}"
+            f" latency_ms={up.elapsed * 1e3:.1f}"
+        )
+    st = session.stats
+    total = st["repairs"] + st["relayouts"]
+    if total:
+        print(
+            f"updates={total} repairs={st['repairs']}"
+            f" relayouts={st['relayouts']} rejected={rejected}"
+            f" repair_rate={st['repairs'] / total:.2f}"
+        )
+    else:
+        print(f"updates=0 rejected={rejected}")
+    if latencies:
+        print(
+            f"latency_ms: median={statistics.median(latencies) * 1e3:.1f}"
+            f" max={max(latencies) * 1e3:.1f}"
+        )
+    if args.save_layout:
+        from .core import save_layout
+
+        save_layout(session.snapshot_result(), args.save_layout)
+        print(f"layout archive -> {args.save_layout}", file=sys.stderr)
     return 0
 
 

@@ -17,6 +17,13 @@ Format history
   bools/arrays are converted to their Python equivalents before
   encoding, so a save → load round trip yields ``int``/``float``/
   ``bool``/``list`` values.
+* **v3** — the subspace payload (``B``, ``S``, pivots) became optional:
+  ``save_layout(..., include_subspace=False)`` writes a slim
+  coords-only archive (the serving cache doesn't need the subspace),
+  while the default keeps it so :class:`repro.stream.StreamSession`
+  can warm-start from the archive.  A ``has_subspace`` flag records
+  the choice; v1/v2 archives always carried the subspace and load
+  unchanged.
 
 :func:`load_layout` accepts any version up to the current one and
 raises a clear error for archives written by a *newer* library.
@@ -36,7 +43,7 @@ from .result import LayoutResult
 __all__ = ["save_layout", "load_layout", "FORMAT_VERSION"]
 
 #: Current archive format (see "Format history" above).
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 _FORMAT_VERSION = FORMAT_VERSION  # backwards-compatible alias
 _MIN_FORMAT_VERSION = 1
 
@@ -54,16 +61,32 @@ def _params_default(value: Any) -> Any:
     return str(value)
 
 
-def save_layout(result: LayoutResult, path: str | os.PathLike) -> None:
-    """Write a layout to a compressed ``.npz`` archive."""
+def save_layout(
+    result: LayoutResult,
+    path: str | os.PathLike,
+    *,
+    include_subspace: bool = True,
+) -> None:
+    """Write a layout to a compressed ``.npz`` archive.
+
+    ``include_subspace=False`` drops the warm-start payload (``B``,
+    ``S``, pivots), shrinking the archive to roughly the coordinates —
+    appropriate for the serving cache, whose consumers only read
+    coordinates.  Archives saved that way cannot seed a
+    :class:`repro.stream.StreamSession`.
+    """
+    full = bool(include_subspace)
+    empty_f = np.empty((0, 0), dtype=np.float64)
+    empty_i = np.empty(0, dtype=np.int64)
     np.savez_compressed(
         path,
         format_version=np.int64(FORMAT_VERSION),
+        has_subspace=np.int64(1 if full else 0),
         coords=result.coords,
-        B=result.B,
-        S=result.S,
+        B=result.B if full else empty_f,
+        S=result.S if full else empty_f,
         eigenvalues=result.eigenvalues,
-        pivots=result.pivots,
+        pivots=np.asarray(result.pivots) if full else empty_i,
         dropped=np.asarray(result.dropped, dtype=np.int64),
         algorithm=np.array(result.algorithm),
         params=np.array(json.dumps(result.params, default=_params_default)),
@@ -82,6 +105,8 @@ def load_layout(path: str | os.PathLike) -> LayoutResult:
 
     The returned result carries an empty ledger (costs are not
     persisted); performance queries require re-running the algorithm.
+    Slim v3 archives (``include_subspace=False``) come back with empty
+    ``B``/``S``/``pivots`` arrays.
     """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["format_version"])

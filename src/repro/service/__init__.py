@@ -18,8 +18,13 @@ deployment would:
 * :mod:`~repro.service.telemetry` — counters and latency histograms
   exportable as a dict or a plain-text stats page;
 * :mod:`~repro.service.http` — a dependency-free JSON endpoint
-  (``POST /layout``, ``GET /healthz``, ``GET /stats``) on the stdlib
-  ``http.server``, wired to the CLI as ``parhde serve``.
+  (``POST /layout``, ``POST /update``, ``GET /healthz``, ``GET /stats``)
+  on the stdlib ``http.server``, wired to the CLI as ``parhde serve``.
+
+Named graphs are *dynamic*: ``POST /update`` applies an
+:class:`~repro.stream.EdgeDelta` through the engine and bumps the graph
+epoch, which is folded into every fingerprint — cached layouts of the
+pre-update graph miss from then on (memory and disk tier alike).
 """
 
 from .cache import LayoutCache, layout_nbytes
@@ -31,6 +36,8 @@ from .engine import (
     Overloaded,
     RequestTimeout,
     ServiceError,
+    UpdateRequest,
+    UpdateResponse,
 )
 from .fingerprint import (
     FINGERPRINT_VERSION,
@@ -55,6 +62,8 @@ __all__ = [
     "RequestTimeout",
     "ServiceError",
     "Telemetry",
+    "UpdateRequest",
+    "UpdateResponse",
     "canonical_params",
     "graph_digest",
     "layout_fingerprint",

@@ -11,6 +11,13 @@ Eviction from memory spills to disk (when a disk tier is configured);
 a disk hit is promoted back into memory.  All operations are safe under
 concurrent access from the serving threads; hit/miss/evict accounting is
 exposed via :meth:`LayoutCache.stats`.
+
+Staleness: keys are full request fingerprints
+(:func:`~repro.service.fingerprint.layout_fingerprint`), which fold in
+the fingerprint-format version *and the graph epoch*.  Disk filenames
+are the fingerprints themselves, so a graph update — which bumps the
+epoch — moves every affected key and a pre-update layout can never be
+served from either tier for the post-update graph.
 """
 
 from __future__ import annotations

@@ -34,6 +34,8 @@ from ..core import parhde, phde, pivotmds
 from ..core.result import LayoutResult
 from ..graph.csr import CSRGraph
 from ..parallel.pool import PoolSaturated, TaskPool
+from ..stream.delta import edge_delta
+from ..stream.overlay import DynamicGraph
 from .cache import LayoutCache
 from .fingerprint import graph_digest, layout_fingerprint
 from .telemetry import Telemetry
@@ -46,6 +48,8 @@ __all__ = [
     "Overloaded",
     "RequestTimeout",
     "ServiceError",
+    "UpdateRequest",
+    "UpdateResponse",
     "DEFAULT_ALGORITHMS",
 ]
 
@@ -125,6 +129,38 @@ class LayoutRequest:
     timeout: float | None = None
 
 
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One graph-update request (the ``POST /update`` body).
+
+    ``inserts`` rows are ``[u, v]`` or ``[u, v, w]``; ``deletes`` rows
+    are ``[u, v]``.  Updates address *named* graphs only — the engine
+    owns their lifecycle; in-memory graphs belong to the caller.
+    """
+
+    graph: str
+    scale: str = "small"
+    seed: int = 0
+    inserts: tuple = ()
+    deletes: tuple = ()
+
+
+@dataclass
+class UpdateResponse:
+    """Engine answer to a graph update."""
+
+    graph_name: str
+    epoch: int  # post-update epoch; fingerprints now use this
+    n: int
+    m: int
+    inserted: int
+    deleted: int
+    skipped: int  # no-op edits (insert existing / delete missing)
+    overlay_fraction: float
+    compacted: bool
+    elapsed: float
+
+
 @dataclass
 class LayoutResponse:
     """Engine answer: the layout plus serving metadata."""
@@ -151,6 +187,27 @@ class _Flight:
         self.event = threading.Event()
         self.result: LayoutResult | None = None
         self.error: BaseException | None = None
+
+
+class _GraphState:
+    """A named graph the engine serves, now mutable via ``/update``.
+
+    ``digest`` is the *lineage* digest — the content digest of the graph
+    as first registered.  Post-update identity is ``(digest, epoch)``:
+    the epoch counts applied update batches, so every update moves all
+    fingerprints derived from this graph, which is exactly the cache
+    staleness guarantee (a pre-update layout can never be served for the
+    post-update graph).  Rehashing the full CSR on every small delta
+    would defeat the point of the overlay.
+    """
+
+    __slots__ = ("dyn", "digest", "epoch", "lock")
+
+    def __init__(self, g: CSRGraph):
+        self.dyn = DynamicGraph(g)
+        self.digest = graph_digest(g)
+        self.epoch = 0
+        self.lock = threading.Lock()
 
 
 class LayoutEngine:
@@ -202,7 +259,7 @@ class LayoutEngine:
         self._pool = TaskPool(workers, queue_limit=queue_limit)
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
-        self._graphs: dict[tuple[str, str, int], tuple[CSRGraph, str]] = {}
+        self._graphs: dict[tuple[str, str, int], _GraphState] = {}
         self._graphs_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
@@ -253,28 +310,86 @@ class LayoutEngine:
         self.telemetry.inc(f"responses.{response.status}")
         return response
 
-    # -- internals ---------------------------------------------------------
-    def _resolve_graph(self, request: LayoutRequest) -> tuple[CSRGraph, str, str]:
-        """Return ``(graph, digest, display_name)`` for a request."""
+    # -- graph updates -----------------------------------------------------
+    def update(self, request: UpdateRequest) -> UpdateResponse:
+        """Apply an edge delta to a named graph and bump its epoch.
+
+        No-op edits (inserting an existing edge, deleting a missing one)
+        are skipped and counted rather than rejected — streams replayed
+        with retries must be idempotent.  The epoch bumps even for an
+        all-no-op batch, which costs one redundant cache namespace but
+        never risks serving a stale layout.
+        """
+        t0 = time.perf_counter()
+        self.telemetry.inc("updates")
         if isinstance(request.graph, CSRGraph):
-            g = request.graph
-            return g, graph_digest(g), g.name or "<in-memory>"
-        key = (request.graph, request.scale, int(request.seed))
-        with self._graphs_lock:
-            hit = self._graphs.get(key)
-        if hit is not None:
-            g, digest = hit
-            return g, digest, g.name or request.graph
+            raise BadRequest(
+                "updates address named graphs only; in-memory graphs are"
+                " owned by the caller"
+            )
         try:
-            g = self._graph_loader(request.graph, request.scale, int(request.seed))
+            delta = edge_delta(
+                inserts=request.inserts or (), deletes=request.deletes or ()
+            )
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad delta: {exc}") from exc
+        if not len(delta):
+            raise BadRequest("delta has no operations")
+        state = self._graph_state(request.graph, request.scale, request.seed)
+        with state.lock:
+            try:
+                applied = state.dyn.apply(delta, strict=False)
+            except ValueError as exc:
+                raise BadRequest(str(exc)) from exc
+            state.epoch += 1
+            compacted = state.dyn.maybe_compact()
+            return UpdateResponse(
+                graph_name=request.graph,
+                epoch=state.epoch,
+                n=state.dyn.n,
+                m=state.dyn.m,
+                inserted=len(applied.inserted),
+                deleted=len(applied.deleted),
+                skipped=applied.skipped,
+                overlay_fraction=state.dyn.overlay_fraction,
+                compacted=compacted,
+                elapsed=time.perf_counter() - t0,
+            )
+
+    # -- internals ---------------------------------------------------------
+    def _graph_state(
+        self, name: str, scale: str, seed: int
+    ) -> _GraphState:
+        """Load-or-get the mutable state of a named graph."""
+        key = (name, scale, int(seed))
+        with self._graphs_lock:
+            state = self._graphs.get(key)
+        if state is not None:
+            return state
+        try:
+            g = self._graph_loader(name, scale, int(seed))
         except (KeyError, ValueError, OSError) as exc:
             # str(KeyError) wraps the message in quotes; unwrap args[0].
             detail = exc.args[0] if exc.args else exc
             raise BadRequest(str(detail)) from exc
-        digest = graph_digest(g)
+        state = _GraphState(g)
         with self._graphs_lock:
-            self._graphs[key] = (g, digest)
-        return g, digest, g.name or request.graph
+            # Another thread may have raced the load; keep the first.
+            state = self._graphs.setdefault(key, state)
+        return state
+
+    def _resolve_graph(
+        self, request: LayoutRequest
+    ) -> tuple[CSRGraph, str, str, int]:
+        """Return ``(graph, digest, display_name, epoch)`` for a request."""
+        if isinstance(request.graph, CSRGraph):
+            g = request.graph
+            return g, graph_digest(g), g.name or "<in-memory>", 0
+        state = self._graph_state(request.graph, request.scale, request.seed)
+        with state.lock:
+            g = state.dyn.to_csr()
+            epoch = state.epoch
+        return g, state.digest, g.name or request.graph, epoch
 
     def _validate(self, request: LayoutRequest, g: CSRGraph) -> dict[str, Any]:
         if request.algorithm not in self._algorithms:
@@ -312,9 +427,11 @@ class LayoutEngine:
         return result
 
     def _serve(self, request: LayoutRequest, t0: float) -> LayoutResponse:
-        g, digest, name = self._resolve_graph(request)
+        g, digest, name, epoch = self._resolve_graph(request)
         kwargs = self._validate(request, g)
-        fingerprint = layout_fingerprint(digest, request.algorithm, kwargs)
+        fingerprint = layout_fingerprint(
+            digest, request.algorithm, kwargs, epoch=epoch
+        )
 
         def respond(result: LayoutResult, status: str) -> LayoutResponse:
             return LayoutResponse(

@@ -15,6 +15,12 @@ not affect coordinates.
 ``FINGERPRINT_VERSION`` is folded into every digest; bump it whenever
 the layout algorithms change in a coordinate-visible way so stale disk
 caches miss instead of serving wrong answers.
+
+Dynamic graphs additionally fold a *graph epoch* into the fingerprint
+(v2): the engine bumps the epoch on every ``POST /update``, so layouts
+cached for an earlier version of a graph can never be served for the
+edited one — including from the disk tier, whose filenames are the
+fingerprints themselves.
 """
 
 from __future__ import annotations
@@ -35,7 +41,8 @@ __all__ = [
 ]
 
 #: Format version folded into every digest (graph and request alike).
-FINGERPRINT_VERSION = 1
+#: v2 added the graph-epoch component for dynamic graphs.
+FINGERPRINT_VERSION = 2
 
 
 def _json_safe(value: Any) -> Any:
@@ -94,6 +101,8 @@ def layout_fingerprint(
     graph: CSRGraph | str,
     algorithm: str,
     params: Mapping[str, Any] | None = None,
+    *,
+    epoch: int = 0,
 ) -> str:
     """Fingerprint of one layout request (hex sha256).
 
@@ -107,12 +116,18 @@ def layout_fingerprint(
         Algorithm name (``"parhde"``, ``"phde"``, ``"pivotmds"``).
     params:
         Algorithm parameters; ``None`` means ``{}``.
+    epoch:
+        Graph epoch — the number of update batches applied to the graph
+        since it was registered (0 for static graphs).  Folded into the
+        digest so every update invalidates all cached layouts of the
+        pre-update graph, memory and disk tier alike.
     """
     gd = graph if isinstance(graph, str) else graph_digest(graph)
     payload = "\x1f".join(
         (
             f"repro-layout-v{FINGERPRINT_VERSION}",
             gd,
+            f"epoch={int(epoch)}",
             algorithm,
             canonical_params(params or {}),
         )

@@ -11,6 +11,12 @@ control).  Routes:
     Only ``graph`` is required.  Answers with serving metadata
     (fingerprint, cache status, elapsed seconds) and, unless
     ``include_coords`` is false, the ``n x d`` coordinate list.
+``POST /update``
+    Body ``{"graph": "barth", "scale": "tiny", "seed": 0,
+    "inserts": [[u, v], [u, v, w], ...], "deletes": [[u, v], ...]}``.
+    Applies an edge delta to the named graph and bumps its epoch, so
+    every cached layout of the pre-update graph misses from then on.
+    Answers with the new epoch and the effective edit counts.
 ``GET /healthz``
     Liveness probe; always ``{"status": "ok"}`` while the server runs.
 ``GET /stats``
@@ -29,7 +35,13 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from .engine import BadRequest, LayoutEngine, LayoutRequest, ServiceError
+from .engine import (
+    BadRequest,
+    LayoutEngine,
+    LayoutRequest,
+    ServiceError,
+    UpdateRequest,
+)
 
 __all__ = ["LayoutServer", "make_server"]
 
@@ -94,6 +106,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         url = urlparse(self.path)
+        if url.path == "/update":
+            self._post_update()
+            return
         if url.path != "/layout":
             self._send(
                 404, {"error": "not_found", "message": f"no route {url.path}"}
@@ -125,7 +140,49 @@ class _Handler(BaseHTTPRequestHandler):
             ]
         self._send(200, payload)
 
-    def _read_request(self) -> tuple[LayoutRequest, bool]:
+    def _post_update(self) -> None:
+        try:
+            doc = self._read_body()
+            graph = doc.get("graph")
+            if not isinstance(graph, str) or not graph:
+                raise BadRequest("'graph' (collection name) is required")
+            for key in ("inserts", "deletes"):
+                if key in doc and not isinstance(doc[key], list):
+                    raise BadRequest(f"'{key}' must be a list of [u, v] pairs")
+            request = UpdateRequest(
+                graph=graph,
+                scale=str(doc.get("scale", "small")),
+                seed=int(doc.get("seed", 0)),
+                inserts=tuple(doc.get("inserts") or ()),
+                deletes=tuple(doc.get("deletes") or ()),
+            )
+            response = self.engine.update(request)
+        except ServiceError as exc:
+            self._send_error(exc)
+            return
+        except (TypeError, ValueError) as exc:
+            self._send(400, {"error": "bad_request", "message": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            self._send(500, {"error": "internal", "message": str(exc)})
+            return
+        self._send(
+            200,
+            {
+                "graph": response.graph_name,
+                "epoch": response.epoch,
+                "n": response.n,
+                "m": response.m,
+                "inserted": response.inserted,
+                "deleted": response.deleted,
+                "skipped": response.skipped,
+                "overlay_fraction": response.overlay_fraction,
+                "compacted": response.compacted,
+                "elapsed_seconds": response.elapsed,
+            },
+        )
+
+    def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             raise BadRequest("missing request body")
@@ -137,6 +194,10 @@ class _Handler(BaseHTTPRequestHandler):
             raise BadRequest(f"invalid JSON body: {exc}") from exc
         if not isinstance(doc, dict):
             raise BadRequest("request body must be a JSON object")
+        return doc
+
+    def _read_request(self) -> tuple[LayoutRequest, bool]:
+        doc = self._read_body()
         graph = doc.get("graph")
         if not isinstance(graph, str) or not graph:
             raise BadRequest("'graph' (collection name) is required")

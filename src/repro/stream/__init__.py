@@ -1,0 +1,37 @@
+"""Dynamic-graph layout: edge-delta overlays and incremental relayout.
+
+The static ParHDE pipeline assumes a frozen graph; this subsystem keeps
+a layout *tracking* an evolving one:
+
+* :mod:`~repro.stream.delta` — validated, deduplicated
+  :class:`EdgeDelta` batches (the update wire format);
+* :mod:`~repro.stream.overlay` — :class:`DynamicGraph`, a base CSR plus
+  an adjacency overlay with threshold-triggered compaction;
+* :mod:`~repro.stream.incremental` — affected-region repair of the
+  pivot-distance matrix ``B`` with a drift metric;
+* :mod:`~repro.stream.session` — :class:`StreamSession`, the
+  repair-vs-relayout policy loop with warm starts and Procrustes
+  frame anchoring.
+
+See ``docs/streaming.md`` for the end-to-end story.
+"""
+
+from .delta import EdgeDelta, edge_delta, parse_events, read_events
+from .incremental import RepairResult, repair_distances
+from .overlay import AppliedDelta, DynamicGraph
+from .session import StreamPolicy, StreamSession, StreamUpdate, bfs_work_units
+
+__all__ = [
+    "AppliedDelta",
+    "DynamicGraph",
+    "EdgeDelta",
+    "RepairResult",
+    "StreamPolicy",
+    "StreamSession",
+    "StreamUpdate",
+    "bfs_work_units",
+    "edge_delta",
+    "parse_events",
+    "read_events",
+    "repair_distances",
+]

@@ -1,0 +1,272 @@
+"""Validated, deduplicated edge-delta batches for dynamic graphs.
+
+A :class:`EdgeDelta` is one atomic batch of structural edits — edge
+insertions (optionally weighted) and deletions — applied between two
+layout frames.  Batches are *canonical*: endpoints are stored with
+``u < v``, self loops are rejected, and duplicated operations on the
+same edge collapse with last-op-wins semantics (matching how an event
+stream would replay).  The overlay (:mod:`repro.stream.overlay`)
+validates the batch against the actual graph at apply time; this module
+only enforces batch-internal invariants, which keeps deltas graph-free
+and serializable.
+
+Deltas never change the vertex set: the streaming subsystem tracks a
+fixed universe of ``n`` vertices (the pivot distance matrix ``B`` is
+``(n, s)``), so endpoint range checks happen at apply time when ``n``
+is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["EdgeDelta", "edge_delta", "parse_events", "read_events"]
+
+
+def _canonical_pairs(
+    pairs: Iterable[Sequence[float]], kind: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Normalize ``(u, v)`` / ``(u, v, w)`` rows to sorted-endpoint arrays."""
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    any_weight = False
+    for row in pairs:
+        if len(row) == 2:
+            u, v = row
+            w = 1.0
+        elif len(row) == 3:
+            u, v, w = row
+            any_weight = True
+        else:
+            raise ValueError(
+                f"{kind} entries must be (u, v) or (u, v, w), got {row!r}"
+            )
+        u, v = int(u), int(v)
+        if u == v:
+            raise ValueError(f"self loop ({u}, {u}) in {kind}")
+        if u < 0 or v < 0:
+            raise ValueError(f"negative endpoint in {kind}: ({u}, {v})")
+        w = float(w)
+        if w <= 0:
+            raise ValueError(f"non-positive weight {w} in {kind}")
+        if u > v:
+            u, v = v, u
+        us.append(u)
+        vs.append(v)
+        ws.append(w)
+    u_arr = np.asarray(us, dtype=np.int64)
+    v_arr = np.asarray(vs, dtype=np.int64)
+    w_arr = np.asarray(ws, dtype=np.float64) if any_weight else None
+    return u_arr, v_arr, w_arr
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """One validated batch of edge insertions and deletions.
+
+    Attributes
+    ----------
+    insert_u, insert_v:
+        ``int64`` endpoint arrays of the edges to insert, ``u < v``.
+    insert_w:
+        Aligned positive weights, or ``None`` when every insert is
+        implicit weight 1 (unweighted graphs).
+    delete_u, delete_v:
+        ``int64`` endpoint arrays of the edges to delete, ``u < v``.
+
+    Use :func:`edge_delta` or :meth:`from_events` instead of the raw
+    constructor — they canonicalize and deduplicate.
+    """
+
+    insert_u: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    insert_v: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    insert_w: np.ndarray | None = None
+    delete_u: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    delete_v: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls, events: Iterable[Sequence[object]]
+    ) -> "EdgeDelta":
+        """Build a batch from an ordered event stream, last op per edge wins.
+
+        Each event is ``("+", u, v)``, ``("+", u, v, w)`` or
+        ``("-", u, v)``.  An edge inserted then deleted inside one batch
+        collapses to the delete (and vice versa) — exactly what replaying
+        the events one at a time would leave behind.
+        """
+        last: dict[tuple[int, int], tuple[str, float]] = {}
+        any_weight = False
+        for ev in events:
+            op = str(ev[0])
+            if op not in ("+", "-"):
+                raise ValueError(f"event op must be '+' or '-', got {op!r}")
+            rest = ev[1:]
+            if op == "-" and len(rest) != 2:
+                raise ValueError(f"delete event must be ('-', u, v): {ev!r}")
+            if len(rest) == 3:
+                u, v, w = int(rest[0]), int(rest[1]), float(rest[2])
+                any_weight = True
+            else:
+                u, v, w = int(rest[0]), int(rest[1]), 1.0
+            if u == v:
+                raise ValueError(f"self loop event on vertex {u}")
+            if u > v:
+                u, v = v, u
+            last[(u, v)] = (op, w)
+        if any_weight:
+            inserts = [
+                (u, v, w) for (u, v), (op, w) in last.items() if op == "+"
+            ]
+        else:
+            inserts = [(u, v) for (u, v), (op, _) in last.items() if op == "+"]
+        deletes = [(u, v) for (u, v), (op, _) in last.items() if op == "-"]
+        return edge_delta(inserts=inserts, deletes=deletes)
+
+    # -- views -------------------------------------------------------------
+    @property
+    def n_inserts(self) -> int:
+        return len(self.insert_u)
+
+    @property
+    def n_deletes(self) -> int:
+        return len(self.delete_u)
+
+    def __len__(self) -> int:
+        return self.n_inserts + self.n_deletes
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.insert_w is not None
+
+    def insert_weights(self) -> np.ndarray:
+        """Per-insert weights (ones when the batch carries none)."""
+        if self.insert_w is not None:
+            return self.insert_w
+        return np.ones(self.n_inserts, dtype=np.float64)
+
+    def max_endpoint(self) -> int:
+        """Largest vertex id referenced, or ``-1`` for an empty batch."""
+        parts = [
+            arr.max()
+            for arr in (self.insert_v, self.delete_v)
+            if len(arr)
+        ]
+        return int(max(parts)) if parts else -1
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-JSON form, the ``POST /update`` body shape."""
+        inserts: list[list[float]] = []
+        ws = self.insert_weights()
+        for i in range(self.n_inserts):
+            row: list[float] = [int(self.insert_u[i]), int(self.insert_v[i])]
+            if self.insert_w is not None:
+                row.append(float(ws[i]))
+            inserts.append(row)
+        deletes = [
+            [int(self.delete_u[i]), int(self.delete_v[i])]
+            for i in range(self.n_deletes)
+        ]
+        return {"inserts": inserts, "deletes": deletes}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "EdgeDelta":
+        if not isinstance(doc, dict):
+            raise ValueError("delta document must be a JSON object")
+        return edge_delta(
+            inserts=doc.get("inserts") or (),
+            deletes=doc.get("deletes") or (),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeDelta(+{self.n_inserts} -{self.n_deletes})"
+
+
+def edge_delta(
+    inserts: Iterable[Sequence[float]] = (),
+    deletes: Iterable[Sequence[float]] = (),
+) -> EdgeDelta:
+    """Canonicalize and validate one delta batch.
+
+    ``inserts`` rows are ``(u, v)`` or ``(u, v, w)``; ``deletes`` rows are
+    ``(u, v)``.  Duplicate operations on the same edge deduplicate (for
+    duplicated inserts the last weight wins); an edge appearing in both
+    lists is an error — use :meth:`EdgeDelta.from_events` for ordered
+    streams where last-op-wins resolution is wanted.
+    """
+    iu, iv, iw = _canonical_pairs(inserts, "inserts")
+    du, dv, _ = _canonical_pairs(deletes, "deletes")
+
+    seen: dict[tuple[int, int], float] = {}
+    for i in range(len(iu)):
+        seen[(int(iu[i]), int(iv[i]))] = (
+            float(iw[i]) if iw is not None else 1.0
+        )
+    if seen:
+        iu = np.fromiter((k[0] for k in seen), dtype=np.int64, count=len(seen))
+        iv = np.fromiter((k[1] for k in seen), dtype=np.int64, count=len(seen))
+        iw = (
+            np.fromiter(seen.values(), dtype=np.float64, count=len(seen))
+            if iw is not None
+            else None
+        )
+    dseen = dict.fromkeys(zip(du.tolist(), dv.tolist()))
+    if dseen:
+        du = np.fromiter((k[0] for k in dseen), dtype=np.int64, count=len(dseen))
+        dv = np.fromiter((k[1] for k in dseen), dtype=np.int64, count=len(dseen))
+    both = set(zip(iu.tolist(), iv.tolist())) & set(zip(du.tolist(), dv.tolist()))
+    if both:
+        raise ValueError(
+            f"edges {sorted(both)} appear in both inserts and deletes;"
+            " use EdgeDelta.from_events for ordered streams"
+        )
+    return EdgeDelta(
+        insert_u=iu, insert_v=iv, insert_w=iw, delete_u=du, delete_v=dv
+    )
+
+
+def parse_events(text: str) -> list[tuple]:
+    """Parse an edge-event text block into ``(op, u, v[, w])`` tuples.
+
+    Line format (the ``parhde stream`` replay format)::
+
+        + u v [w]     insert edge (u, v), optional weight
+        - u v         delete edge (u, v)
+        # ...         comment
+        ---           batch boundary (kept as the sentinel ("|",))
+
+    Blank lines are ignored.
+    """
+    events: list[tuple] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == "---":
+            events.append(("|",))
+            continue
+        parts = line.split()
+        op = parts[0]
+        if op not in ("+", "-"):
+            raise ValueError(
+                f"line {lineno}: expected '+', '-' or '---', got {raw!r}"
+            )
+        if op == "+" and len(parts) == 4:
+            events.append(("+", int(parts[1]), int(parts[2]), float(parts[3])))
+        elif len(parts) == 3:
+            events.append((op, int(parts[1]), int(parts[2])))
+        else:
+            raise ValueError(f"line {lineno}: malformed event {raw!r}")
+    return events
+
+
+def read_events(path) -> list[tuple]:
+    """Read an edge-event file (see :func:`parse_events`)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_events(fh.read())

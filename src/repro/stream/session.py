@@ -1,0 +1,580 @@
+"""Stateful dynamic-layout sessions: repair vs. relayout orchestration.
+
+A :class:`StreamSession` owns a :class:`~repro.stream.overlay.DynamicGraph`
+plus the last layout's intermediates (``B``, ``S``, pivots, axes) and
+turns each :class:`~repro.stream.delta.EdgeDelta` into a fresh frame:
+
+1. apply the delta to the overlay;
+2. *repair* the pivot-distance matrix ``B`` incrementally
+   (:mod:`repro.stream.incremental`) when the policy allows, else run a
+   *full relayout*;
+3. rebuild the downstream pipeline (DOrtho → TripleProd → eigensolve)
+   on the repaired ``B`` — the Laplacian product uses the base CSR plus
+   a sparse per-edge overlay correction, so no CSR rebuild happens on
+   the hot path;
+4. re-anchor the new frame onto the previous one with Procrustes
+   alignment so successive frames don't flip or spin.
+
+Repair vs. relayout policy (:class:`StreamPolicy`):
+
+* ``drift_threshold`` — if the repaired ``B`` changed more than this
+  fraction of its entries, the pivots themselves are presumed stale
+  (k-centers picked them for the *old* metric) and a full relayout with
+  re-pivoting runs instead.
+* ``staleness_limit`` — after this many consecutive repairs a full
+  relayout runs regardless, bounding accumulated pivot drift.  This
+  relayout is *warm*: it keeps the previous pivot set and skips the
+  farthest-first selection sweeps.
+
+Warm starts:
+
+* Staleness relayouts reuse the previous pivots (``run_sources``),
+  skipping k-centers selection; drift relayouts re-pivot from scratch.
+* With ``ortho="plain"`` the orthogonalization is degree-free, so the
+  leading ``S`` columns whose ``B`` columns the repair left untouched
+  are reused verbatim and MGS continues from there.  (``ortho="D"``
+  cannot reuse: any structural edit perturbs the weighted degrees and
+  with them every D-inner product.)
+* The small eigensolve warm-starts from the previous axes ``Y``: if the
+  previous subspace is still (numerically) invariant under the new
+  projected matrix ``Z``, its Ritz pairs are accepted without a fresh
+  Jacobi sweep.
+
+Every kernel — including repair and the overlay correction — records
+into the per-update :class:`~repro.parallel.costs.Ledger` under the
+standard phase names, so ``bfs_work_units`` comparisons between a
+streamed update and a from-scratch run are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bfs.runner import run_sources
+from ..core.hde import parhde
+from ..core.pivots import select_and_traverse
+from ..core.result import LayoutResult
+from ..graph.csr import CSRGraph
+from ..graph.gaps import miss_rate
+from ..linalg import blas
+from ..linalg.blas import dense_gemm
+from ..linalg.eigen import extreme_eigenpairs
+from ..linalg.gram_schmidt import OrthoResult, d_orthogonalize
+from ..linalg.laplacian import laplacian_spmm
+from ..metrics.procrustes import procrustes_align
+from ..parallel.costs import KernelCost, Ledger
+from ..parallel.primitives import F64, I64, map_cost, random_lines_for
+from .delta import EdgeDelta
+from .incremental import repair_distances
+from .overlay import DynamicGraph
+
+__all__ = ["StreamPolicy", "StreamSession", "StreamUpdate", "bfs_work_units"]
+
+
+@dataclass(frozen=True)
+class StreamPolicy:
+    """Knobs of the repair-vs-relayout decision.
+
+    Attributes
+    ----------
+    drift_threshold:
+        Fraction of ``B`` entries a repair may change before the update
+        escalates to a full relayout with fresh k-centers pivots.
+    staleness_limit:
+        Consecutive repairs tolerated before a warm full relayout
+        (previous pivots, no selection sweeps) re-grounds the session.
+    compact_threshold:
+        Passed to :class:`~repro.stream.overlay.DynamicGraph` — overlay
+        size (as a fraction of the base edge count) that triggers CSR
+        compaction.
+    """
+
+    drift_threshold: float = 0.10
+    staleness_limit: int = 64
+    compact_threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.drift_threshold <= 1.0):
+            raise ValueError("drift_threshold must be in (0, 1]")
+        if self.staleness_limit < 1:
+            raise ValueError("staleness_limit must be >= 1")
+
+
+@dataclass
+class StreamUpdate:
+    """One update's outcome: the new frame plus how it was produced."""
+
+    epoch: int
+    mode: str  # "repair" | "relayout"
+    reason: str  # "repair" | "drift" | "staleness" | "weighted"
+    coords: np.ndarray
+    drift: float
+    changed_entries: int
+    edges_examined: int
+    elapsed: float
+    ledger: Ledger
+    compacted: bool = False
+    warm_pivots: bool = False
+    warm_ortho_cols: int = 0
+    warm_eigensolve: bool = False
+    applied_edits: int = 0
+    skipped_edits: int = 0
+
+
+def bfs_work_units(ledger: Ledger) -> float:
+    """Modeled BFS-phase work units recorded in ``ledger``.
+
+    This is the acceptance metric for streamed updates: repair work and
+    full-traversal work both land in the ``"BFS"`` phase, priced with
+    the same per-edge constants.
+    """
+    totals = ledger.phase_totals().get("BFS")
+    return float(totals.combined.work) if totals is not None else 0.0
+
+
+class StreamSession:
+    """Dynamic-graph layout session over one evolving graph.
+
+    Parameters
+    ----------
+    g:
+        The starting graph (connected; use :func:`repro.graph.preprocess`
+        first).  Weighted graphs are accepted but every update runs a
+        full relayout — incremental repair covers hop distances only.
+    s, dims, seed, ortho, gs_method, drop_tol:
+        Forwarded to :func:`repro.core.parhde` semantics; the session
+        always projects through ``S`` (``project_basis="S"``).
+    policy:
+        Repair-vs-relayout policy; default :class:`StreamPolicy`.
+    layout:
+        Optional previous :class:`~repro.core.result.LayoutResult` for
+        ``g`` to adopt instead of computing the initial frame (it must
+        carry ``B``, ``S`` and pivots — see ``save_layout``'s
+        ``include_subspace``).
+    """
+
+    def __init__(
+        self,
+        g: CSRGraph,
+        s: int = 10,
+        *,
+        dims: int = 2,
+        seed: int = 0,
+        policy: StreamPolicy | None = None,
+        ortho: str = "D",
+        gs_method: str = "mgs",
+        drop_tol: float = 1e-3,
+        layout: LayoutResult | None = None,
+    ):
+        self.policy = policy if policy is not None else StreamPolicy()
+        self.dyn = DynamicGraph(
+            g, compact_threshold=self.policy.compact_threshold
+        )
+        self.s = int(s)
+        self.dims = int(dims)
+        self.seed = int(seed)
+        self.ortho = ortho
+        self.gs_method = gs_method
+        self.drop_tol = float(drop_tol)
+        #: Successful updates applied so far (the session's frame number).
+        self.epoch = 0
+        self._since_full = 0
+        self.stats = {
+            "updates": 0,
+            "repairs": 0,
+            "relayouts": 0,
+            "warm_eigensolves": 0,
+        }
+        if layout is not None:
+            self._adopt(g, layout)
+        else:
+            res = parhde(
+                g,
+                self.s,
+                dims=self.dims,
+                seed=self.seed,
+                ortho=ortho,
+                gs_method=gs_method,
+                drop_tol=drop_tol,
+            )
+            self.coords = res.coords
+            self.B = res.B
+            self.S = res.S
+            self.pivots = np.asarray(res.pivots, dtype=np.int64)
+            self.eigenvalues = res.eigenvalues
+            dropped = set(res.dropped)
+            self._kept = [
+                i for i in range(self.B.shape[1]) if i not in dropped
+            ]
+        self._Y: np.ndarray | None = None
+
+    @classmethod
+    def from_layout(cls, g: CSRGraph, path, **kwargs) -> "StreamSession":
+        """Warm-start a session from a saved layout archive.
+
+        The archive must have been written with
+        ``save_layout(..., include_subspace=True)`` (the default); slim
+        archives raise a clear error.
+        """
+        from ..core.serialize import load_layout
+
+        result = load_layout(path)
+        return cls(g, layout=result, **kwargs)
+
+    def _adopt(self, g: CSRGraph, layout: LayoutResult) -> None:
+        B = np.asarray(layout.B, dtype=np.float64)
+        S = np.asarray(layout.S, dtype=np.float64)
+        pivots = np.asarray(layout.pivots, dtype=np.int64)
+        if B.size == 0 or S.size == 0 or pivots.size == 0:
+            raise ValueError(
+                "layout archive lacks the subspace (B/S/pivots); re-save"
+                " with include_subspace=True to warm-start a session"
+            )
+        if B.shape[0] != g.n or S.shape[0] != g.n:
+            raise ValueError(
+                f"layout is for a {B.shape[0]}-vertex graph,"
+                f" got one with {g.n} vertices"
+            )
+        if len(pivots) != B.shape[1]:
+            raise ValueError("pivot count does not match B's columns")
+        self.coords = np.array(layout.coords, dtype=np.float64)
+        self.B = np.array(B)
+        self.S = np.array(S)
+        self.pivots = pivots
+        self.eigenvalues = np.asarray(layout.eigenvalues, dtype=np.float64)
+        self.s = B.shape[1]
+        dropped = set(int(i) for i in np.asarray(layout.dropped).ravel())
+        self._kept = [i for i in range(self.s) if i not in dropped]
+        for key in ("dims", "seed", "ortho", "gs_method", "drop_tol"):
+            if key in layout.params:
+                setattr(self, key, layout.params[key])
+        self.dims = int(self.dims)
+
+    # -- public API --------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The current graph, materialized (cached by the overlay)."""
+        return self.dyn.to_csr()
+
+    @property
+    def n(self) -> int:
+        return self.dyn.n
+
+    def update(self, delta: EdgeDelta, *, strict: bool = True) -> StreamUpdate:
+        """Apply one delta batch and produce the next frame.
+
+        Raises ``ValueError`` (after rolling the graph and layout state
+        back) when the delta would disconnect the graph — layouts are
+        defined for connected graphs only.
+        """
+        t0 = time.perf_counter()
+        led = Ledger()
+        prev = (self.coords, self.B.copy(), self.S, self.pivots,
+                self.eigenvalues, self._kept, self._Y)
+        applied = self.dyn.apply(delta, strict=strict)
+        try:
+            if self.dyn.is_weighted:
+                out = self._full_relayout(led, "weighted", warm=False)
+            elif self._since_full + 1 >= self.policy.staleness_limit:
+                out = self._full_relayout(led, "staleness", warm=True)
+            else:
+                out = self._try_repair(led, applied)
+        except Exception:
+            # Roll back: reinstate the pre-update graph and layout state.
+            (self.coords, self.B, self.S, self.pivots,
+             self.eigenvalues, self._kept, self._Y) = prev
+            self.dyn.apply(applied.inverse(), strict=False)
+            raise
+        self.epoch += 1
+        self.stats["updates"] += 1
+        out.epoch = self.epoch
+        out.elapsed = time.perf_counter() - t0
+        out.applied_edits = applied.size
+        out.skipped_edits = applied.skipped
+        out.compacted = self.dyn.maybe_compact() or out.compacted
+        return out
+
+    def snapshot_result(self) -> LayoutResult:
+        """The current frame as a :class:`LayoutResult` (serializable)."""
+        return LayoutResult(
+            coords=self.coords,
+            algorithm="parhde",
+            B=self.B,
+            S=self.S,
+            eigenvalues=self.eigenvalues,
+            pivots=self.pivots,
+            dropped=[i for i in range(self.B.shape[1]) if i not in self._kept],
+            params=dict(
+                s=self.s,
+                dims=self.dims,
+                seed=self.seed,
+                pivots="kcenters",
+                ortho=self.ortho,
+                gs_method=self.gs_method,
+                project_basis="S",
+                drop_tol=self.drop_tol,
+                stream_epoch=self.epoch,
+            ),
+        )
+
+    # -- repair path -------------------------------------------------------
+    def _try_repair(self, led: Ledger, applied) -> StreamUpdate:
+        with led.phase("BFS"):
+            rep = repair_distances(
+                self.dyn,
+                self.B,
+                self.pivots,
+                applied.inserted,
+                applied.deleted,
+                ledger=led,
+            )
+        if rep.disconnected:
+            raise ValueError(
+                "delta disconnects the graph; layouts require a connected"
+                " graph (update rolled back)"
+            )
+        if rep.drift > self.policy.drift_threshold:
+            # B is already repaired (and exact), but the pivots were
+            # chosen for the old metric — re-pivot from scratch.
+            return self._full_relayout(led, "drift", warm=False, drift=rep.drift)
+
+        prev_kept = self._kept
+        with led.phase("DOrtho"):
+            warm_cols = 0
+            if self.ortho == "plain":
+                warm_cols = self._warm_prefix(prev_kept, rep.changed)
+            if warm_cols:
+                ores = self._continue_dortho(warm_cols, led)
+            else:
+                d = self.dyn.weighted_degrees if self.ortho == "D" else None
+                ores = d_orthogonalize(
+                    self.B,
+                    d,
+                    method=self.gs_method,
+                    drop_tol=self.drop_tol,
+                    ledger=led,
+                )
+        if ores.S.shape[1] < self.dims:
+            raise ValueError(
+                f"only {ores.S.shape[1]} independent distance vectors"
+                " survived after repair; escalate to a full relayout"
+            )
+        S = ores.S
+
+        with led.phase("TripleProd"):
+            P = laplacian_spmm(self.dyn.base, S, ledger=led, subphase="LS")
+            self._overlay_correction(P, S, led)
+            Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")
+
+        with led.phase("Other"):
+            warm_eig = False
+            pair = self._warm_eigenpairs(Z)
+            if pair is not None:
+                evals, Y = pair
+                warm_eig = True
+                self.stats["warm_eigensolves"] += 1
+            else:
+                evals, Y = extreme_eigenpairs(Z, self.dims, which="smallest")
+            coords = S @ Y
+            led.add(
+                map_cost(
+                    self.dyn.n * S.shape[1] * self.dims,
+                    flops_per_elem=2.0,
+                    bytes_per_elem=F64,
+                )
+            )
+        coords = self._anchor(coords)
+
+        self.coords = coords
+        self.S = S
+        self.eigenvalues = evals
+        self._kept = list(ores.kept)
+        self._Y = Y
+        self._since_full += 1
+        self.stats["repairs"] += 1
+        return StreamUpdate(
+            epoch=self.epoch,
+            mode="repair",
+            reason="repair",
+            coords=coords,
+            drift=rep.drift,
+            changed_entries=int(rep.changed.sum()),
+            edges_examined=rep.edges_examined,
+            elapsed=0.0,
+            ledger=led,
+            warm_ortho_cols=warm_cols,
+            warm_eigensolve=warm_eig,
+        )
+
+    def _warm_prefix(self, prev_kept: list[int], changed: np.ndarray) -> int:
+        """Leading ``S`` columns reusable after repair (plain ortho only).
+
+        Column ``i`` of the previous ``S`` equals what MGS would
+        recompute iff every earlier input column was kept (no drops
+        shift the basis) and columns ``0..i`` of ``B`` are unchanged.
+        """
+        p = 0
+        while (
+            p < len(prev_kept)
+            and prev_kept[p] == p
+            and p < len(changed)
+            and changed[p] == 0
+        ):
+            p += 1
+        return p
+
+    def _continue_dortho(self, p: int, led: Ledger) -> OrthoResult:
+        """Resume plain MGS after the first ``p`` reusable basis columns."""
+        n, s = self.B.shape
+        d = np.ones(n, dtype=np.float64)
+        cols = [np.full(n, 1.0 / np.sqrt(float(n)), dtype=np.float64)]
+        cols.extend(self.S[:, j].copy() for j in range(p))
+        kept = list(range(p))
+        dropped: list[int] = []
+        for i in range(p, s):
+            v = self.B[:, i].astype(np.float64, copy=True)
+            for q in cols:
+                coeff = blas.weighted_dot(q, d, v, led)
+                blas.axpy(-coeff, q, v, led)
+            nrm = blas.weighted_norm(v, d, led)
+            if nrm <= self.drop_tol:
+                dropped.append(i)
+                continue
+            blas.scale(1.0 / nrm, v, led)
+            cols.append(v)
+            kept.append(i)
+        S = (
+            np.column_stack(cols[1:])
+            if kept
+            else np.zeros((n, 0), dtype=np.float64)
+        )
+        return OrthoResult(S=S, kept=kept, dropped=dropped)
+
+    def _overlay_correction(self, P: np.ndarray, S: np.ndarray, led: Ledger) -> None:
+        """Add ``(L_current - L_base) S`` to ``P`` from the overlay edges.
+
+        Each overlay edit contributes ``sign * w * (e_u - e_v)(e_u - e_v)'``
+        to the Laplacian (covering both the degree-diagonal and adjacency
+        changes), so the product correction is two scattered row updates
+        per edge — no CSR rebuild on the hot path.
+        """
+        us, vs, ws, ss = self.dyn.overlay_entries()
+        k = S.shape[1]
+        if not len(us):
+            return
+        coef = (ss * ws)[:, None]
+        diff = coef * (S[us] - S[vs])
+        np.add.at(P, us, diff)
+        np.add.at(P, vs, -diff)
+        miss = miss_rate(self.dyn.base)
+        led.add(
+            KernelCost(
+                work=6.0 * len(us) * k,
+                flops=4.0 * len(us) * k,
+                bytes_streamed=len(us) * 2 * I64,
+                random_lines=random_lines_for(4 * len(us) * k, miss),
+                regions=1,
+            ),
+            subphase="overlay",
+        )
+
+    def _warm_eigenpairs(self, Z: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+        """Accept the previous axes as Ritz pairs of the new ``Z`` if the
+        old subspace is still numerically invariant; else signal a cold
+        solve.  Safe: a loose residual never passes, so quality cannot
+        silently degrade."""
+        Y0 = self._Y
+        k = Z.shape[0]
+        if Y0 is None or Y0.shape[0] != k or Y0.shape[1] != self.dims:
+            return None
+        Q, _ = np.linalg.qr(Y0)
+        H = Q.T @ Z @ Q
+        H = (H + H.T) / 2.0
+        evals, W = np.linalg.eigh(H)
+        Y = Q @ W
+        resid = Z @ Y - Y * evals
+        scale = float(np.linalg.norm(Z)) or 1.0
+        if float(np.linalg.norm(resid)) > 1e-8 * scale:
+            return None
+        return evals, Y
+
+    # -- full relayout -----------------------------------------------------
+    def _full_relayout(
+        self, led: Ledger, reason: str, *, warm: bool, drift: float = 0.0
+    ) -> StreamUpdate:
+        self.dyn.compact()
+        g = self.dyn.base
+        warm_pivots = bool(
+            warm and not g.is_weighted and len(self.pivots) == self.s
+        )
+        with led.phase("BFS"):
+            if warm_pivots:
+                ms = run_sources(g, self.pivots, ledger=led)
+            else:
+                ms = select_and_traverse(
+                    g, self.s, strategy="kcenters", seed=self.seed, ledger=led
+                )
+        B = ms.distances
+        if B.min() < 0:
+            raise ValueError(
+                "delta disconnects the graph; layouts require a connected"
+                " graph (update rolled back)"
+            )
+        d = g.weighted_degrees if self.ortho == "D" else None
+        with led.phase("DOrtho"):
+            ores = d_orthogonalize(
+                B, d, method=self.gs_method, drop_tol=self.drop_tol, ledger=led
+            )
+        if ores.S.shape[1] < self.dims:
+            raise ValueError(
+                f"only {ores.S.shape[1]} independent distance vectors"
+                f" survived; increase s (got s={self.s})"
+            )
+        S = ores.S
+        with led.phase("TripleProd"):
+            P = laplacian_spmm(g, S, ledger=led, subphase="LS")
+            Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")
+        with led.phase("Other"):
+            evals, Y = extreme_eigenpairs(Z, self.dims, which="smallest")
+            coords = S @ Y
+            led.add(
+                map_cost(
+                    g.n * S.shape[1] * self.dims,
+                    flops_per_elem=2.0,
+                    bytes_per_elem=F64,
+                )
+            )
+        coords = self._anchor(coords)
+
+        self.coords = coords
+        self.B = B
+        self.S = S
+        self.pivots = np.asarray(ms.sources, dtype=np.int64)
+        self.eigenvalues = evals
+        self._kept = list(ores.kept)
+        self._Y = Y
+        self._since_full = 0
+        self.stats["relayouts"] += 1
+        return StreamUpdate(
+            epoch=self.epoch,
+            mode="relayout",
+            reason=reason,
+            coords=coords,
+            drift=drift,
+            changed_entries=0,
+            edges_examined=0,
+            elapsed=0.0,
+            ledger=led,
+            compacted=True,
+            warm_pivots=warm_pivots,
+        )
+
+    def _anchor(self, coords: np.ndarray) -> np.ndarray:
+        """Procrustes-align the new frame onto the previous one."""
+        try:
+            return procrustes_align(coords, self.coords).aligned
+        except ValueError:
+            return coords
