@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast serve-smoke stream-smoke examples results clean
+.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,15 @@ serve-smoke:
 # full relayout while matching its stress within 5%.
 stream-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/stream_smoke.py
+
+# Invariant-suite acceptance: every pipeline phase must satisfy its
+# paper-stated invariant (strict thresholds, deep checks included) on a
+# small dataset, and the fault-injection harness must catch every
+# registered corruption.
+check-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli check barth --scale small --strict
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli check barth --scale tiny --strict --weighted
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli check barth --scale tiny --inject all
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

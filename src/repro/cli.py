@@ -32,6 +32,10 @@ Subcommands
 ``reproduce``
     Run the paper-reproduction benchmarks (all of them, or by table /
     figure id) via pytest-benchmark.
+``check``
+    Run the pipeline invariant suite (:mod:`repro.validate`) on a graph
+    and print the per-phase residual report; ``--inject`` corrupts one
+    pipeline intermediate and verifies the checkers catch it.
 
 Commands that *consume* a layout (``zoom``, ``partition``,
 ``export-html``) accept ``--layout FILE.npz`` to reuse one saved with
@@ -243,6 +247,30 @@ def main(argv: list[str] | None = None) -> int:
         help="error on no-op edits instead of skipping them",
     )
 
+    p_check = sub.add_parser(
+        "check", help="run the pipeline invariant suite (repro.validate)"
+    )
+    _add_graph_args(p_check)
+    p_check.add_argument("-s", "--subspace", type=int, default=8)
+    p_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="also run the deep checks (stream repair equivalence, cache"
+        " round-trip); exit 1 on any violation either way",
+    )
+    p_check.add_argument(
+        "--weighted",
+        action="store_true",
+        help="apply deterministic integer weights and check the SSSP path",
+    )
+    p_check.add_argument(
+        "--inject",
+        metavar="FAULT",
+        help="corrupt one pipeline intermediate and report whether its"
+        " checker catches it ('all' = every registered fault, 'list' ="
+        " print the registry)",
+    )
+
     p_rep = sub.add_parser(
         "reproduce", help="run the paper-reproduction benchmarks"
     )
@@ -281,6 +309,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "stream":
         return _stream(g, args, parser)
+
+    if args.command == "check":
+        return _check(g, args, parser)
 
     if args.command == "layout":
         algo = _ALGOS[args.algo]
@@ -593,6 +624,48 @@ def _stream(g, args, parser) -> int:
         save_layout(session.snapshot_result(), args.save_layout)
         print(f"layout archive -> {args.save_layout}", file=sys.stderr)
     return 0
+
+
+def _check(g, args, parser) -> int:
+    from .validate import FAULTS, run_injection, run_suite
+
+    if args.weighted:
+        from .graph.weights import random_integer_weights
+
+        g = random_integer_weights(g, seed=args.seed)
+
+    if args.inject:
+        if args.inject == "list":
+            for name, (description, _) in FAULTS.items():
+                print(f"{name:<24} {description}")
+            return 0
+        names = None if args.inject == "all" else [args.inject]
+        try:
+            outcomes = run_injection(
+                g, names, s=args.subspace, seed=args.seed
+            )
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+        for outcome in outcomes:
+            print(outcome.format())
+        if args.inject == "all":
+            # Harness self-test: success means every corruption was caught.
+            caught = sum(o.caught for o in outcomes)
+            print(f"harness: {caught}/{len(outcomes)} faults caught")
+            return 0 if caught == len(outcomes) else 1
+        # Single fault: the exit code mirrors a real corrupted run —
+        # nonzero when the checkers flag the pipeline as broken.
+        return 1 if outcomes[0].caught else 0
+
+    report = run_suite(
+        g,
+        args.subspace,
+        seed=args.seed,
+        policy="strict" if args.strict else "warn",
+        weighted=args.weighted,
+    )
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _reproduce(args, parser) -> int:

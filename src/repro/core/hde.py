@@ -39,6 +39,13 @@ from ..linalg.gram_schmidt import d_orthogonalize
 from ..linalg.laplacian import laplacian_spmm
 from ..parallel.costs import KernelCost, Ledger
 from ..parallel.primitives import F64, map_cost
+from ..validate import (
+    ValidationPolicy,
+    check_bfs_levels,
+    check_d_orthogonality,
+    check_eigenpairs,
+    check_laplacian_identity,
+)
 from .pivots import select_and_traverse
 from .result import LayoutResult
 
@@ -60,6 +67,7 @@ def parhde(
     weight_interpretation: str = "distance",
     delta: float | None = None,
     ledger: Ledger | None = None,
+    validate: ValidationPolicy | str | None = None,
 ) -> LayoutResult:
     """Compute a ``dims``-dimensional spectral layout of ``g``.
 
@@ -98,6 +106,12 @@ def parhde(
     ledger:
         Optional existing ledger to record costs into (a fresh one is
         created otherwise and attached to the result).
+    validate:
+        Invariant-checking policy (:mod:`repro.validate`): ``None`` /
+        ``"off"`` (default, no checks), ``"warn"`` (check each phase,
+        warn on violation), ``"strict"`` (raise
+        :class:`~repro.validate.InvariantViolation`), or a configured
+        :class:`~repro.validate.ValidationPolicy`.
 
     Returns
     -------
@@ -119,6 +133,7 @@ def parhde(
         raise ValueError(f"ortho must be 'D' or 'plain', got {ortho!r}")
     if project_basis not in ("S", "B"):
         raise ValueError("project_basis must be 'S' or 'B'")
+    policy = ValidationPolicy.coerce(validate)
     led = ledger if ledger is not None else Ledger()
 
     # Phase 1: BFS (or SSSP) traversals.  Under the similarity reading,
@@ -143,6 +158,12 @@ def parhde(
             raise ValueError("graph must be connected (infinite distances found)")
     elif B.min() < 0:
         raise ValueError("graph must be connected (unreached vertices found)")
+    if policy.enabled:
+        # Levels are checked against the graph actually traversed (the
+        # similarity reading inverts the weights before SSSP).
+        policy.handle(
+            check_bfs_levels(g_traverse, B, ms.sources, weighted=weighted)
+        )
 
     # Phase 2: D-orthogonalization.
     d = g.weighted_degrees if ortho == "D" else None
@@ -156,11 +177,19 @@ def parhde(
             f"increase s (got s={s}) or check the graph"
         )
     S = ores.S
+    if policy.enabled:
+        policy.handle(check_d_orthogonality(S, d, tol=policy.ortho_tol))
 
     # Phase 3: TripleProd — P = L S, then Z = S' P.
     with led.phase("TripleProd"):
         P = laplacian_spmm(g, S, ledger=led, subphase="LS")
         Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")
+    if policy.enabled and policy.run_deep:
+        # The edge-scatter reference costs another SpMM's worth of work,
+        # so it only runs at strict (or deep=True) level.
+        policy.handle(
+            check_laplacian_identity(g, S, P, tol=policy.laplacian_tol)
+        )
 
     # Phase 4 ("Other"): eigensolve on the tiny matrix + back-projection.
     with led.phase("Other"):
@@ -174,6 +203,8 @@ def parhde(
                 bytes_per_elem=F64,
             )
         )
+    if policy.enabled:
+        policy.handle(check_eigenpairs(Z, evals, Y, tol=policy.eigen_tol))
 
     return LayoutResult(
         coords=coords,

@@ -16,7 +16,13 @@ Two procedures are provided, matching the paper's Table 7 comparison:
   coefficients of a column are computed in one ``S' (d * s_i)`` matvec
   and applied in one block update.  Fewer memory passes and barriers —
   the paper measures 2.1-2.8x on the phase — but requires all distance
-  vectors to exist up front.
+  vectors to exist up front.  Classical GS is numerically fragile on
+  near-dependent columns: when the projection cancels most of a column,
+  the computed coefficients are contaminated by the part already
+  removed.  A conditional second pass (CGS2, the "twice is enough"
+  criterion: reorthogonalize when the residual D-norm fell below a
+  tenth of the input's) restores orthogonality to working precision
+  while keeping the Level-2 structure.
 
 Near-dependent columns (residual norm at most ``drop_tol``) are dropped,
 as in Algorithm 3 line 12-13.
@@ -32,6 +38,16 @@ from ..parallel.costs import Ledger
 from . import blas
 
 __all__ = ["OrthoResult", "d_orthogonalize"]
+
+#: CGS2 trigger: reorthogonalize when one projection pass shrinks a
+#: column's D-norm below this fraction of its input norm (Kahan-style
+#: "twice is enough").  Loss of orthogonality after one pass is bounded
+#: by roughly ``eps / ratio``, so a ratio of 0.1 still leaves ~1e-15
+#: residual; distance-like columns legitimately lose about half their
+#: norm to the constant-vector projection alone, so larger thresholds
+#: (e.g. the classical 1/sqrt(2)) fire a wasted second pass on nearly
+#: every BFS column.
+_CGS2_SAFETY = 0.1
 
 
 @dataclass
@@ -54,6 +70,32 @@ class OrthoResult:
     S: np.ndarray
     kept: list[int]
     dropped: list[int]
+
+
+def _cgs_project(
+    Q: np.ndarray,
+    d: np.ndarray,
+    v: np.ndarray,
+    n: int,
+    ledger: Ledger | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One block CGS projection pass: ``v - Q (Q' (d * v))``.
+
+    Returns the projected vector and the coefficient vector (needed by
+    the CGS2 trigger).
+    """
+    dv = d * v
+    if ledger is not None:
+        ledger.add(
+            blas.map_cost(n, flops_per_elem=1.0, bytes_per_elem=3 * 8)
+        )
+    coeffs = blas.dense_matvec(Q.T, dv, ledger)
+    v = v - blas.dense_matvec(Q, coeffs, ledger)
+    if ledger is not None:
+        ledger.add(
+            blas.map_cost(n, flops_per_elem=1.0, bytes_per_elem=3 * 8)
+        )
+    return v, coeffs
 
 
 def d_orthogonalize(
@@ -111,20 +153,21 @@ def d_orthogonalize(
             for q in cols:
                 coeff = blas.weighted_dot(q, d, v, ledger)
                 blas.axpy(-coeff, q, v, ledger)
+            nrm = blas.weighted_norm(v, d, ledger)
         else:  # cgs
             Q = np.column_stack(cols)
-            dv = d * v
-            if ledger is not None:
-                ledger.add(
-                    blas.map_cost(n, flops_per_elem=1.0, bytes_per_elem=3 * 8)
-                )
-            coeffs = blas.dense_matvec(Q.T, dv, ledger)
-            v -= blas.dense_matvec(Q, coeffs, ledger)
-            if ledger is not None:
-                ledger.add(
-                    blas.map_cost(n, flops_per_elem=1.0, bytes_per_elem=3 * 8)
-                )
-        nrm = blas.weighted_norm(v, d, ledger)
+            v, coeffs = _cgs_project(Q, d, v, n, ledger)
+            nrm = blas.weighted_norm(v, d, ledger)
+            # The input's D-norm follows from Pythagoras (Q is
+            # D-orthonormal), so the CGS2 trigger costs no extra pass
+            # over the long vectors.
+            norm_before = float(np.sqrt(nrm * nrm + float(coeffs @ coeffs)))
+            # Conditional reorthogonalization (CGS2): heavy cancellation
+            # means the one-shot coefficients were inaccurate; a second
+            # identical pass restores orthogonality to working precision.
+            if nrm < _CGS2_SAFETY * norm_before:
+                v, _ = _cgs_project(Q, d, v, n, ledger)
+                nrm = blas.weighted_norm(v, d, ledger)
         if nrm <= drop_tol:
             dropped.append(i)
             continue

@@ -38,6 +38,7 @@ from .engine import (
     ServiceError,
     UpdateRequest,
     UpdateResponse,
+    ValidationFailed,
 )
 from .fingerprint import (
     FINGERPRINT_VERSION,
@@ -64,6 +65,7 @@ __all__ = [
     "Telemetry",
     "UpdateRequest",
     "UpdateResponse",
+    "ValidationFailed",
     "canonical_params",
     "graph_digest",
     "layout_fingerprint",

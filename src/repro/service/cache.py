@@ -8,9 +8,13 @@ archives in the :mod:`repro.core.serialize` format — the same format
 and files are inspectable with the normal tooling.
 
 Eviction from memory spills to disk (when a disk tier is configured);
-a disk hit is promoted back into memory.  All operations are safe under
-concurrent access from the serving threads; hit/miss/evict accounting is
-exposed via :meth:`LayoutCache.stats`.
+a disk hit is promoted back into memory.  When a spill *fails* (disk
+full, permissions, a path that is not a directory) the victim is kept
+in memory — temporarily over budget — instead of being dropped from
+both tiers at once, and the failure is counted in the ``disk_errors``
+stat.  All operations are safe under concurrent access from the serving
+threads; hit/miss/evict/disk-error accounting is exposed via
+:meth:`LayoutCache.stats`.
 
 Staleness: keys are full request fingerprints
 (:func:`~repro.service.fingerprint.layout_fingerprint`), which fold in
@@ -165,10 +169,20 @@ class LayoutCache:
         self._mem_bytes += nbytes
         while self._mem_bytes > self.max_bytes and self._mem:
             victim_fp, (victim, victim_bytes) = self._mem.popitem(last=False)
+            if (
+                spill
+                and self.disk_dir is not None
+                and not self._disk_store(victim_fp, victim, overwrite=False)
+            ):
+                # The spill failed: dropping the victim anyway would lose
+                # it from both tiers at once.  Put it back at the cold end
+                # and stop evicting — the tier runs over budget until a
+                # later spill succeeds, which is the recoverable failure.
+                self._mem[victim_fp] = (victim, victim_bytes)
+                self._mem.move_to_end(victim_fp, last=False)
+                break
             self._mem_bytes -= victim_bytes
             self._counts["evictions"] += 1
-            if spill:
-                self._disk_store(victim_fp, victim, overwrite=False)
 
     # -- disk tier ---------------------------------------------------------
     def _disk_path(self, fingerprint: str) -> Path | None:
@@ -189,10 +203,14 @@ class LayoutCache:
 
     def _disk_store(
         self, fingerprint: str, result: LayoutResult, *, overwrite: bool = True
-    ) -> None:
+    ) -> bool:
+        """Persist one entry; ``True`` iff the archive is on disk after
+        the call (written now or already present)."""
         path = self._disk_path(fingerprint)
-        if path is None or (not overwrite and path.exists()):
-            return
+        if path is None:
+            return False
+        if not overwrite and path.exists():
+            return True
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             # Write-then-rename so concurrent readers never see a torn file.
@@ -209,3 +227,5 @@ class LayoutCache:
         except Exception:
             with self._lock:
                 self._counts["disk_errors"] += 1
+            return False
+        return True

@@ -24,6 +24,7 @@ compute-time and end-to-end latency histograms.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from dataclasses import dataclass, field
@@ -36,6 +37,11 @@ from ..graph.csr import CSRGraph
 from ..parallel.pool import PoolSaturated, TaskPool
 from ..stream.delta import edge_delta
 from ..stream.overlay import DynamicGraph
+from ..validate import (
+    InvariantViolation,
+    ValidationPolicy,
+    check_cache_consistency,
+)
 from .cache import LayoutCache
 from .fingerprint import graph_digest, layout_fingerprint
 from .telemetry import Telemetry
@@ -50,6 +56,7 @@ __all__ = [
     "ServiceError",
     "UpdateRequest",
     "UpdateResponse",
+    "ValidationFailed",
     "DEFAULT_ALGORITHMS",
 ]
 
@@ -82,6 +89,18 @@ class RequestTimeout(ServiceError):
 
     code = "timeout"
     http_status = 504
+
+
+class ValidationFailed(ServiceError):
+    """A layout (computed or cached) failed an invariant check.
+
+    Raised only when the engine runs with a ``strict`` validation
+    policy; a failed check means the response would have been wrong, so
+    failing loudly beats serving it.
+    """
+
+    code = "invalid_layout"
+    http_status = 500
 
 
 #: Algorithm registry served by default.
@@ -232,6 +251,14 @@ class LayoutEngine:
         Algorithm registry override (tests inject slow/counting stubs).
     telemetry:
         Metrics registry (default: a fresh one).
+    validation:
+        Invariant-checking policy (:mod:`repro.validate`): ``None`` /
+        ``"off"`` (default), ``"warn"``, ``"strict"`` or a configured
+        :class:`~repro.validate.ValidationPolicy`.  When enabled, the
+        policy is threaded into every algorithm that accepts a
+        ``validate`` keyword, and cache hits are cross-checked against
+        the request before being served; strict violations surface as
+        :class:`ValidationFailed`.
     """
 
     def __init__(
@@ -244,11 +271,13 @@ class LayoutEngine:
         graph_loader: Callable[[str, str, int], CSRGraph] | None = None,
         algorithms: Mapping[str, Callable[..., LayoutResult]] | None = None,
         telemetry: Telemetry | None = None,
+        validation: ValidationPolicy | str | None = None,
     ):
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.cache = cache if cache is not None else LayoutCache()
         self.timeout = timeout
+        self.validation = ValidationPolicy.coerce(validation)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._algorithms = dict(
             algorithms if algorithms is not None else DEFAULT_ALGORITHMS
@@ -412,14 +441,28 @@ class LayoutEngine:
             )
         return {"s": s, "seed": int(request.seed), **extra}
 
+    @staticmethod
+    def _accepts_validate(algo: Callable[..., LayoutResult]) -> bool:
+        try:
+            return "validate" in inspect.signature(algo).parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            return False
+
     def _compute(self, algo_key: str, g: CSRGraph, kwargs: dict, enqueued: float):
         self.telemetry.observe("queue_wait_seconds", time.perf_counter() - enqueued)
         t0 = time.perf_counter()
         algo = self._algorithms[algo_key]
         kwargs = dict(kwargs)
         s = kwargs.pop("s")
+        if self.validation.enabled and self._accepts_validate(algo):
+            kwargs["validate"] = self.validation
         try:
             result = algo(g, s, **kwargs)
+        except InvariantViolation as exc:
+            self.telemetry.inc("validation_failures")
+            raise ValidationFailed(
+                f"layout failed invariant check: {exc}"
+            ) from exc
         except TypeError as exc:
             # Parameter accepted by one algorithm but not this one.
             raise BadRequest(str(exc)) from exc
@@ -447,6 +490,20 @@ class LayoutEngine:
         cached = self.cache.get(fingerprint)
         if cached is not None:
             result, tier = cached
+            if self.validation.enabled:
+                check = check_cache_consistency(
+                    result, g, request.algorithm, kwargs
+                )
+                if not check.ok:
+                    self.telemetry.inc("validation_failures")
+                try:
+                    self.validation.handle(check)
+                except InvariantViolation as exc:
+                    # Don't serve a provably-wrong entry; fall through to
+                    # recompute would mask the fingerprint bug, so fail.
+                    raise ValidationFailed(
+                        f"cache hit failed consistency check: {exc}"
+                    ) from exc
             self.telemetry.inc("cache_hits")
             return respond(result, f"{tier}-hit")
         self.telemetry.inc("cache_misses")

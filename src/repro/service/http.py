@@ -25,13 +25,19 @@ control).  Routes:
 
 Errors come back as ``{"error": <code>, "message": <detail>}`` with the
 status mapped from the :class:`~repro.service.engine.ServiceError`
-hierarchy (400 bad request, 503 overloaded, 504 timeout).
+hierarchy (400 bad request, 503 overloaded, 504 timeout).  Internal
+failures (unexpected exceptions and bare ``ServiceError`` wrappers
+around compute crashes) never echo exception text to the client: the
+body carries only a generated error id, and the detail goes to the
+``repro.service.http`` logger server-side.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -46,6 +52,8 @@ from .engine import (
 __all__ = ["LayoutServer", "make_server"]
 
 _MAX_BODY = 8 * 1024 * 1024
+
+logger = logging.getLogger("repro.service.http")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -75,8 +83,35 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error(self, exc: ServiceError) -> None:
+        if type(exc) is ServiceError:
+            # A bare ServiceError is the engine's wrapper around an
+            # arbitrary compute crash — its message may carry exception
+            # text, so treat it like any other internal failure.
+            self._send_internal(exc)
+            return
         self._send(
             exc.http_status, {"error": exc.code, "message": str(exc)}
+        )
+
+    def _send_internal(self, exc: BaseException) -> None:
+        """Last-resort 500: log the traceback, return only an error id.
+
+        Raw exception text can leak file paths, graph names or request
+        internals; the client gets an opaque id to quote, and the
+        operator greps the server log for it.
+        """
+        error_id = uuid.uuid4().hex[:12]
+        logger.exception(
+            "internal error %s handling %s %s: %s",
+            error_id, self.command, self.path, exc,
+        )
+        self._send(
+            500,
+            {
+                "error": "internal",
+                "message": f"internal server error (id {error_id})",
+                "error_id": error_id,
+            },
         )
 
     # -- routes ------------------------------------------------------------
@@ -121,7 +156,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(exc)
             return
         except Exception as exc:  # noqa: BLE001 — last-resort 500
-            self._send(500, {"error": "internal", "message": str(exc)})
+            self._send_internal(exc)
             return
         include_coords = body[1]
         payload = {
@@ -164,7 +199,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(400, {"error": "bad_request", "message": str(exc)})
             return
         except Exception as exc:  # noqa: BLE001 — last-resort 500
-            self._send(500, {"error": "internal", "message": str(exc)})
+            self._send_internal(exc)
             return
         self._send(
             200,

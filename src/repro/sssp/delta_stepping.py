@@ -58,11 +58,19 @@ class SSSPStats:
 
 
 def suggest_delta(g: CSRGraph) -> float:
-    """The classic heuristic ``delta = max_weight / average_degree``."""
-    if g.weights is None:
+    """The classic heuristic ``delta = max_weight / average_degree``.
+
+    Degenerate graphs fall back to ``1.0``: a weighted graph with zero
+    edges has no ``max()`` to take, and non-finite or non-positive
+    weights would produce a bucket width that never terminates.
+    """
+    if g.weights is None or g.weights.size == 0:
+        return 1.0
+    max_w = float(g.weights.max())
+    if not np.isfinite(max_w) or max_w <= 0.0:
         return 1.0
     avg_deg = max(g.average_degree, 1.0)
-    return float(g.weights.max() / avg_deg)
+    return float(max_w / avg_deg)
 
 
 def _gather_edges(

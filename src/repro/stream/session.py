@@ -67,6 +67,12 @@ from ..linalg.laplacian import laplacian_spmm
 from ..metrics.procrustes import procrustes_align
 from ..parallel.costs import KernelCost, Ledger
 from ..parallel.primitives import F64, I64, map_cost, random_lines_for
+from ..validate import (
+    ValidationPolicy,
+    check_d_orthogonality,
+    check_overlay_digest,
+    check_repair_equivalence,
+)
 from .delta import EdgeDelta
 from .incremental import repair_distances
 from .overlay import DynamicGraph
@@ -154,6 +160,14 @@ class StreamSession:
         ``g`` to adopt instead of computing the initial frame (it must
         carry ``B``, ``S`` and pivots — see ``save_layout``'s
         ``include_subspace``).
+    validation:
+        Invariant-checking policy (:mod:`repro.validate`): ``None`` /
+        ``"off"`` (default), ``"warn"``, ``"strict"`` or a configured
+        :class:`~repro.validate.ValidationPolicy`.  Checks run inside
+        ``update``'s try block, so a strict violation rolls the graph
+        and layout state back before propagating.  Deep (strict-level)
+        checks re-traverse from the pivots after every repair — exact
+        but expensive; use ``warn`` for production streams.
     """
 
     def __init__(
@@ -168,8 +182,10 @@ class StreamSession:
         gs_method: str = "mgs",
         drop_tol: float = 1e-3,
         layout: LayoutResult | None = None,
+        validation: ValidationPolicy | str | None = None,
     ):
         self.policy = policy if policy is not None else StreamPolicy()
+        self.validation = ValidationPolicy.coerce(validation)
         self.dyn = DynamicGraph(
             g, compact_threshold=self.policy.compact_threshold
         )
@@ -199,6 +215,7 @@ class StreamSession:
                 ortho=ortho,
                 gs_method=gs_method,
                 drop_tol=drop_tol,
+                validate=self.validation,
             )
             self.coords = res.coords
             self.B = res.B
@@ -341,6 +358,16 @@ class StreamSession:
             # chosen for the old metric — re-pivot from scratch.
             return self._full_relayout(led, "drift", warm=False, drift=rep.drift)
 
+        if self.validation.enabled and self.validation.run_deep:
+            # Exact-repair contract: the repaired B must equal fresh
+            # traversals from the same pivots on the post-delta graph,
+            # and the overlay's two read paths must agree.  Raising here
+            # is inside update()'s try block, so state rolls back.
+            self.validation.handle(check_overlay_digest(self.dyn))
+            self.validation.handle(
+                check_repair_equivalence(self.dyn.to_csr(), self.B, self.pivots)
+            )
+
         prev_kept = self._kept
         with led.phase("DOrtho"):
             warm_cols = 0
@@ -363,6 +390,11 @@ class StreamSession:
                 " survived after repair; escalate to a full relayout"
             )
         S = ores.S
+        if self.validation.enabled:
+            dcheck = self.dyn.weighted_degrees if self.ortho == "D" else None
+            self.validation.handle(
+                check_d_orthogonality(S, dcheck, tol=self.validation.ortho_tol)
+            )
 
         with led.phase("TripleProd"):
             P = laplacian_spmm(self.dyn.base, S, ledger=led, subphase="LS")
@@ -534,6 +566,10 @@ class StreamSession:
                 f" survived; increase s (got s={self.s})"
             )
         S = ores.S
+        if self.validation.enabled:
+            self.validation.handle(
+                check_d_orthogonality(S, d, tol=self.validation.ortho_tol)
+            )
         with led.phase("TripleProd"):
             P = laplacian_spmm(g, S, ledger=led, subphase="LS")
             Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")

@@ -1,0 +1,95 @@
+"""Pipeline-wide invariant checking and fault injection.
+
+The ParHDE pipeline rests on invariants the paper states but — until
+this package — the code never verified at runtime: ``S' D S = I`` after
+DOrtho, ``L S = D S - A S`` in TripleProd, monotone BFS levels, exact
+equivalence of overlay-repaired and from-scratch distance matrices, and
+cache/fingerprint consistency in the serving tier.  Three pieces:
+
+* :mod:`~repro.validate.checkers` — pure per-phase checkers returning
+  :class:`CheckResult`; each recomputes its reference through a code
+  path disjoint from the kernel it guards.
+* :class:`ValidationPolicy` — ``off`` / ``warn`` / ``strict``, threaded
+  through :func:`repro.core.parhde` (``validate=``),
+  :class:`repro.service.LayoutEngine` (``validation=``) and
+  :class:`repro.stream.StreamSession` (``validation=``) so every layout
+  can self-check at configurable cost.
+* :mod:`~repro.validate.inject` — the fault-injection harness: each
+  registered corruption must be caught by its checker, making the
+  checkers themselves testable code.
+
+``parhde check`` runs the full suite (and ``--inject`` the harness) on a
+dataset from the command line; see docs/validate.md.
+
+``run_suite`` / ``run_injection`` / ``FAULTS`` are loaded lazily: their
+modules import the pipeline they validate, and the pipeline imports this
+package for the policy objects.
+"""
+
+from __future__ import annotations
+
+from .checkers import (
+    check_bfs_levels,
+    check_cache_consistency,
+    check_d_orthogonality,
+    check_eigenpairs,
+    check_laplacian_identity,
+    check_overlay_digest,
+    check_repair_equivalence,
+)
+from .policy import (
+    OFF,
+    STRICT,
+    WARN,
+    CheckResult,
+    InvariantViolation,
+    ValidationPolicy,
+    ValidationReport,
+    ValidationWarning,
+)
+
+__all__ = [
+    "OFF",
+    "STRICT",
+    "WARN",
+    "CheckResult",
+    "FAULTS",
+    "InjectionOutcome",
+    "InvariantViolation",
+    "ValidationPolicy",
+    "ValidationReport",
+    "ValidationWarning",
+    "check_bfs_levels",
+    "check_cache_consistency",
+    "check_d_orthogonality",
+    "check_eigenpairs",
+    "check_laplacian_identity",
+    "check_overlay_digest",
+    "check_repair_equivalence",
+    "run_injection",
+    "run_suite",
+    "suite_delta",
+]
+
+_LAZY = {
+    "run_suite": ("repro.validate.runner", "run_suite"),
+    "suite_delta": ("repro.validate.runner", "suite_delta"),
+    "run_injection": ("repro.validate.inject", "run_injection"),
+    "InjectionOutcome": ("repro.validate.inject", "InjectionOutcome"),
+    "FAULTS": ("repro.validate.inject", "FAULTS"),
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy loading for the modules that import the pipeline."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

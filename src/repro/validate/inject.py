@@ -1,0 +1,229 @@
+"""Fault injection: prove each checker actually catches its fault.
+
+An invariant checker that never fires is dead code with a false sense of
+security attached.  This harness makes the checkers themselves testable:
+for each registered fault it builds a *known-good* pipeline state,
+corrupts exactly one thing (a distance column, the orthonormal basis,
+the overlay bookkeeping, a cached layout, an eigenpair, a BFS level) and
+runs the checker that guards it.  A fault the checker misses is a
+harness failure.
+
+The registry doubles as documentation of the failure modes the
+subsystem defends against; ``parhde check --inject`` drives it from the
+command line (one named report line per fault, nonzero exit when any
+corruption is detected — or, for ``--inject all``, when any is missed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .checkers import (
+    check_bfs_levels,
+    check_cache_consistency,
+    check_d_orthogonality,
+    check_eigenpairs,
+    check_laplacian_identity,
+    check_overlay_digest,
+    check_repair_equivalence,
+)
+from .policy import CheckResult
+
+__all__ = ["FAULTS", "InjectionOutcome", "run_injection"]
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """One fault's verdict: was the deliberate corruption detected?"""
+
+    fault: str
+    description: str
+    caught: bool
+    result: CheckResult
+
+    def format(self) -> str:
+        if self.caught:
+            return (
+                f"inject {self.fault:<24} -> CAUGHT by {self.result.check}"
+                f" (residual {self.result.residual:.3e})"
+            )
+        return f"inject {self.fault:<24} -> MISSED ({self.result.check} stayed ok)"
+
+
+class _State:
+    """A known-good pipeline state the injectors corrupt copies of."""
+
+    def __init__(self, g, s: int, seed: int):
+        from ..core.pivots import select_and_traverse
+        from ..linalg.blas import dense_gemm
+        from ..linalg.eigen import extreme_eigenpairs
+        from ..linalg.gram_schmidt import d_orthogonalize
+        from ..linalg.laplacian import laplacian_spmm
+
+        self.g = g
+        self.seed = seed
+        ms = select_and_traverse(g, s, strategy="kcenters", seed=seed)
+        self.B = ms.distances
+        self.pivots = np.asarray(ms.sources, dtype=np.int64)
+        self.d = g.weighted_degrees
+        self.ores = d_orthogonalize(self.B, self.d)
+        self.S = self.ores.S
+        self.P = laplacian_spmm(g, self.S)
+        self.Z = dense_gemm(self.S.T, self.P)
+        k = min(2, self.Z.shape[0])
+        self.evals, self.Y = extreme_eigenpairs(self.Z, k, which="smallest")
+
+
+def _negative_bfs_level(st: _State) -> CheckResult:
+    B = np.array(st.B)
+    B[(st.pivots[0] + 1) % st.g.n, 0] = -3.0
+    return check_bfs_levels(st.g, B, st.pivots)
+
+
+def _corrupted_b_column(st: _State) -> CheckResult:
+    # A positive, integral, but wrong distance column: one vertex's level
+    # jumps by 5, violating the 1-Lipschitz edge condition.
+    B = np.array(st.B)
+    v = int((st.pivots[-1] + 1) % st.g.n)
+    B[v, -1] += 5.0
+    return check_bfs_levels(st.g, B, st.pivots)
+
+
+def _deorthogonalized_s(st: _State) -> CheckResult:
+    S = np.array(st.S)
+    if S.shape[1] >= 2:
+        S[:, 1] += 0.25 * S[:, 0]  # re-introduce a dropped projection
+    else:
+        S[:, 0] *= 1.5  # break the unit D-norm
+    return check_d_orthogonality(S, st.d)
+
+
+def _corrupted_tripleprod(st: _State) -> CheckResult:
+    P = np.array(st.P)
+    P[P.shape[0] // 2, 0] += 1.0  # one wrong SpMM output entry
+    return check_laplacian_identity(st.g, st.S, P)
+
+
+def _broken_eigenpair(st: _State) -> CheckResult:
+    evals = np.array(st.evals)
+    evals[0] += 0.5 * (1.0 + abs(float(evals[0])))
+    return check_eigenpairs(st.Z, evals, st.Y)
+
+
+def _overlay_divergence(st: _State) -> CheckResult:
+    from ..stream.overlay import DynamicGraph
+    from .runner import suite_delta
+
+    dyn = DynamicGraph(st.g)
+    dyn.apply(suite_delta(st.g, seed=st.seed), strict=False)
+    dyn.to_csr()  # populate the snapshot cache
+    # Simulate a lost-invalidation bug: an edge lands in the overlay
+    # without the snapshot being dropped, so the two read paths diverge.
+    u = 0
+    nbrs = set(int(x) for x in dyn.neighbors(u))
+    v = next(x for x in range(1, dyn.n) if x != u and x not in nbrs)
+    dyn._added.setdefault(u, {})[v] = 1.0
+    dyn._added.setdefault(v, {})[u] = 1.0
+    return check_overlay_digest(dyn)
+
+
+def _repair_divergence(st: _State) -> CheckResult:
+    # A repaired matrix with one silently-stale entry (off by one hop but
+    # still plausible levels).
+    B = np.array(st.B)
+    v = int((st.pivots[0] + 1) % st.g.n)
+    B[v, 0] += 1.0
+    return check_repair_equivalence(st.g, B, st.pivots)
+
+
+def _stale_cache_entry(st: _State) -> CheckResult:
+    from ..service.cache import LayoutCache
+    from ..service.fingerprint import layout_fingerprint
+
+    from ..core.hde import parhde
+
+    # A layout computed for seed=1 stored under the fingerprint of the
+    # seed-0 request — exactly what an epoch-bump bug would produce.
+    stale = parhde(st.g, min(4, st.g.n - 1), seed=st.seed + 1)
+    kwargs = {"s": min(4, st.g.n - 1), "seed": st.seed}
+    fp = layout_fingerprint(st.g, "parhde", kwargs)
+    cache = LayoutCache(max_bytes=64 * 1024 * 1024)
+    cache.put(fp, stale)
+    hit = cache.get(fp)
+    assert hit is not None
+    return check_cache_consistency(hit[0], st.g, "parhde", kwargs)
+
+
+#: fault name -> (description, injector).  Every injector corrupts one
+#: copy of the known-good state and returns its checker's verdict.
+FAULTS: dict[str, tuple[str, Callable[[_State], CheckResult]]] = {
+    "negative-bfs-level": (
+        "a distance entry driven below zero",
+        _negative_bfs_level,
+    ),
+    "corrupted-b-column": (
+        "a distance column with a 5-hop level jump across an edge",
+        _corrupted_b_column,
+    ),
+    "deorthogonalized-s": (
+        "S with a projection re-introduced (S' D S != I)",
+        _deorthogonalized_s,
+    ),
+    "corrupted-tripleprod": (
+        "one wrong entry in the SpMM product P = L S",
+        _corrupted_tripleprod,
+    ),
+    "broken-eigenpair": (
+        "an eigenvalue shifted away from its eigenvector",
+        _broken_eigenpair,
+    ),
+    "overlay-divergence": (
+        "an overlay edit applied without invalidating the CSR snapshot",
+        _overlay_divergence,
+    ),
+    "repair-divergence": (
+        "a repaired distance entry stale by one hop",
+        _repair_divergence,
+    ),
+    "stale-cache-entry": (
+        "a layout cached under another request's fingerprint",
+        _stale_cache_entry,
+    ),
+}
+
+
+def run_injection(
+    g,
+    names: list[str] | None = None,
+    *,
+    s: int = 8,
+    seed: int = 0,
+) -> list[InjectionOutcome]:
+    """Inject each named fault (default: all) and report detection.
+
+    Raises ``KeyError`` for an unknown fault name; the registry keys are
+    the valid names.
+    """
+    chosen = list(FAULTS) if names is None else list(names)
+    unknown = [n for n in chosen if n not in FAULTS]
+    if unknown:
+        raise KeyError(
+            f"unknown fault(s) {unknown}; available: {sorted(FAULTS)}"
+        )
+    state = _State(g, s, seed)
+    outcomes = []
+    for name in chosen:
+        description, injector = FAULTS[name]
+        result = injector(state)
+        outcomes.append(
+            InjectionOutcome(
+                fault=name,
+                description=description,
+                caught=not result.ok,
+                result=result,
+            )
+        )
+    return outcomes

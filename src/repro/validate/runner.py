@@ -1,0 +1,183 @@
+"""Run the full invariant suite over one dataset (``parhde check``).
+
+The runner re-executes the ParHDE pipeline phase by phase — pivot
+traversals, DOrtho, TripleProd, eigensolve — keeping every intermediate,
+and feeds each into its checker.  With ``deep=True`` it additionally
+exercises the streaming overlay (apply a small synthetic delta, repair,
+compare against fresh traversals and an adjacency-merge rebuild) and the
+serving cache (store, re-fetch, cross-check the echo against the
+request), so one ``parhde check --strict`` sweep covers every subsystem
+a layout response can pass through.
+
+Core/service/stream imports happen inside the functions: the checkers
+package is imported *by* ``repro.core`` (the pipeline threads a policy
+through), so a module-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .checkers import (
+    check_bfs_levels,
+    check_cache_consistency,
+    check_d_orthogonality,
+    check_eigenpairs,
+    check_laplacian_identity,
+    check_overlay_digest,
+    check_repair_equivalence,
+)
+from .policy import ValidationPolicy, ValidationReport
+
+__all__ = ["run_suite", "suite_delta"]
+
+
+def suite_delta(g, seed: int = 0):
+    """A small deterministic edge delta for the stream checks.
+
+    Inserts a few absent edges and deletes a few existing non-bridge
+    edges, sized to the graph so the repair has real work but the graph
+    stays connected (deletions only remove edges whose endpoints both
+    keep degree >= 2; that does not guarantee connectivity, so callers
+    fall back to insert-only when the repair reports a disconnect).
+    """
+    from ..stream.delta import edge_delta
+
+    rng = np.random.default_rng(seed)
+    n = g.n
+    inserts = []
+    tries = 0
+    while len(inserts) < 3 and tries < 200:
+        tries += 1
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        a, b = min(u, v), max(u, v)
+        if g.has_edge(a, b) or (a, b) in inserts:
+            continue
+        inserts.append((a, b))
+    deletes = []
+    eu, ev = g.edge_list()
+    deg = g.degrees.copy()
+    order = rng.permutation(len(eu))
+    for idx in order[: min(200, len(order))]:
+        if len(deletes) >= 2:
+            break
+        a, b = int(eu[idx]), int(ev[idx])
+        if deg[a] > 2 and deg[b] > 2:
+            deletes.append((a, b))
+            deg[a] -= 1
+            deg[b] -= 1
+    return edge_delta(inserts=inserts, deletes=deletes)
+
+
+def run_suite(
+    g,
+    s: int = 8,
+    *,
+    seed: int = 0,
+    policy: ValidationPolicy | str | None = "strict",
+    weighted: bool = False,
+    delta: float | None = None,
+) -> ValidationReport:
+    """Execute every applicable checker against ``g``; return the report.
+
+    The report only *records* violations — escalation is the caller's
+    job (the CLI exits nonzero, the tests assert, the policy objects
+    raise or warn when threaded through the pipeline).
+    """
+    from ..core.pivots import select_and_traverse
+    from ..linalg.blas import dense_gemm
+    from ..linalg.eigen import extreme_eigenpairs
+    from ..linalg.gram_schmidt import d_orthogonalize
+    from ..linalg.laplacian import laplacian_spmm
+
+    policy = ValidationPolicy.coerce(policy)
+    report = ValidationReport()
+
+    # Phase 1: traversals.
+    ms = select_and_traverse(g, s, strategy="kcenters", seed=seed, weighted=weighted)
+    B = ms.distances
+    report.add(check_bfs_levels(g, B, ms.sources, weighted=weighted))
+
+    # Phase 2: DOrtho (both GS variants must satisfy the same invariant).
+    d = g.weighted_degrees
+    for method in ("mgs", "cgs"):
+        ores = d_orthogonalize(B, d, method=method)
+        report.add(
+            check_d_orthogonality(ores.S, d, tol=policy.ortho_tol)
+        )
+    S = ores.S
+
+    # Phase 3: TripleProd.
+    P = laplacian_spmm(g, S)
+    report.add(check_laplacian_identity(g, S, P, tol=policy.laplacian_tol))
+    Z = dense_gemm(S.T, P)
+
+    # Phase 4: eigensolve.
+    k = min(2, Z.shape[0])
+    evals, Y = extreme_eigenpairs(Z, k, which="smallest")
+    report.add(check_eigenpairs(Z, evals, Y, tol=policy.eigen_tol))
+
+    if policy.run_deep and not weighted:
+        report.extend(_stream_checks(g, B, ms.sources, seed=seed))
+
+    if policy.run_deep:
+        report.extend(_cache_checks(g, s=s, seed=seed))
+
+    return report
+
+
+def _stream_checks(g, B, pivots, *, seed: int) -> list:
+    """Apply a synthetic delta, repair, and verify both stream invariants."""
+    from ..stream.delta import edge_delta
+    from ..stream.incremental import repair_distances
+    from ..stream.overlay import DynamicGraph
+
+    delta = suite_delta(g, seed=seed)
+    pivots = np.asarray(pivots, dtype=np.int64)
+    for attempt in range(2):
+        dyn = DynamicGraph(g)
+        applied = dyn.apply(delta, strict=False)
+        repaired = np.array(B)  # repair mutates in place
+        rep = repair_distances(
+            dyn, repaired, pivots, applied.inserted, applied.deleted
+        )
+        if not rep.disconnected:
+            break
+        # Rare: the delta cut the graph. Retry with the inserts only —
+        # insertions can never disconnect.
+        delta = edge_delta(
+            inserts=[
+                (int(u), int(v))
+                for u, v in zip(delta.insert_u, delta.insert_v)
+            ]
+        )
+    return [
+        check_overlay_digest(dyn),
+        check_repair_equivalence(dyn.to_csr(), repaired, pivots),
+    ]
+
+
+def _cache_checks(g, *, s: int, seed: int) -> list:
+    """Round-trip a layout through the cache and cross-check the echo."""
+    from ..core.hde import parhde
+    from ..service.cache import LayoutCache
+    from ..service.fingerprint import layout_fingerprint
+
+    kwargs = {"s": s, "seed": seed}
+    result = parhde(g, s, seed=seed)
+    fp = layout_fingerprint(g, "parhde", kwargs)
+    cache = LayoutCache(max_bytes=64 * 1024 * 1024)
+    cache.put(fp, result)
+    hit = cache.get(fp)
+    if hit is None:
+        from .policy import CheckResult
+
+        return [
+            CheckResult(
+                "cache.consistency", "Cache", np.inf, 0.0,
+                "stored layout missed on immediate re-fetch",
+            )
+        ]
+    return [check_cache_consistency(hit[0], g, "parhde", kwargs)]

@@ -95,6 +95,23 @@ class TestDOrthogonalize:
         with pytest.raises(ValueError, match="positive"):
             d_orthogonalize(distancelike, degrees * 0)
 
+    def test_cgs2_near_rank_deficient(self, rng):
+        # Regression: a single CGS projection pass loses orthogonality
+        # catastrophically on near-dependent columns (the coefficients
+        # are contaminated by the part already removed).  The conditional
+        # second pass (CGS2) must keep the Gram residual at working
+        # precision, and MGS/CGS must agree on which columns survive.
+        n, s = 400, 12
+        base = rng.normal(size=(n, 3))
+        B = base @ rng.normal(size=(3, s)) + 1e-9 * rng.normal(size=(n, s))
+        d = rng.uniform(0.5, 3.0, size=n)
+        a = d_orthogonalize(B, d, method="mgs")
+        b = d_orthogonalize(B, d, method="cgs")
+        assert a.kept == b.kept
+        assert a.dropped == b.dropped
+        k = b.S.shape[1]
+        np.testing.assert_allclose(_dgram(b.S, d), np.eye(k), atol=1e-10)
+
     def test_cgs_cheaper_traffic_than_mgs(self, distancelike, degrees):
         lm, lc = Ledger(), Ledger()
         with lm.phase("DOrtho"):

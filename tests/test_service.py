@@ -22,6 +22,7 @@ from repro.service import (
     LayoutRequest,
     Overloaded,
     RequestTimeout,
+    ValidationFailed,
     canonical_params,
     graph_digest,
     layout_fingerprint,
@@ -153,6 +154,27 @@ class TestLayoutCache:
         cache = LayoutCache(max_bytes=1024)
         assert cache.get("nope") is None
         assert cache.stats()["misses"] == 1
+
+    def test_failed_spill_keeps_entry_in_memory(self, tmp_path):
+        # A disk tier rooted under a regular file can never be created,
+        # so every spill attempt fails (works even when running as root,
+        # unlike chmod-based unwritable directories).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        one = layout_nbytes(_fake_layout())
+        cache = LayoutCache(max_bytes=2 * one, disk_dir=blocker / "tier2")
+        cache.put("a", _fake_layout(fill=1))
+        cache.put("b", _fake_layout(fill=2))
+        cache.put("c", _fake_layout(fill=3))  # would evict+spill "a"
+        # The spill failed, so "a" must still be served from memory
+        # rather than silently vanishing from both tiers.
+        hit = cache.get("a")
+        assert hit is not None and hit[1] == "memory"
+        stats = cache.stats()
+        assert stats["disk_errors"] >= 1
+        assert stats["evictions"] == 0
+        # Memory runs over budget until a spill succeeds — by design.
+        assert stats["bytes"] > cache.max_bytes
 
 
 # ---------------------------------------------------------------------------
@@ -350,6 +372,33 @@ class TestLayoutEngine:
             assert eng.inflight == 0
 
 
+class TestEngineValidation:
+    def test_strict_engine_serves_and_validates(self):
+        with LayoutEngine(graph_loader=_tiny_loader, validation="strict") as eng:
+            resp = eng.submit(LayoutRequest(graph="grid", s=6))
+            assert resp.status == "computed"
+            # The policy was threaded into parhde (accepts `validate`).
+            resp2 = eng.submit(LayoutRequest(graph="grid", s=6))
+            assert resp2.cache_hit
+            counters = eng.stats()["counters"]
+            assert counters.get("validation_failures", 0) == 0
+
+    def test_stale_cache_hit_fails_closed(self):
+        g = grid2d(8, 8)
+        with LayoutEngine(graph_loader=_tiny_loader, validation="strict") as eng:
+            # Poison the cache: a foreign layout stored under the exact
+            # fingerprint the request will look up (an epoch-bump bug).
+            fp = layout_fingerprint(
+                graph_digest(g), "parhde", {"s": 6, "seed": 0}, epoch=0
+            )
+            eng.cache.put(fp, _fake_layout(n=4))
+            with pytest.raises(ValidationFailed, match="consistency"):
+                eng.submit(LayoutRequest(graph=g, s=6))
+            assert eng.stats()["counters"]["validation_failures"] == 1
+            # Same engine without strictness would have served it.
+            assert eng.stats()["counters"]["errors.invalid_layout"] == 1
+
+
 # ---------------------------------------------------------------------------
 # HTTP endpoint
 # ---------------------------------------------------------------------------
@@ -425,6 +474,43 @@ class TestHTTP:
             server.url, {"graph": "grid", "s": 4, "include_coords": False}
         )
         assert status == 200 and "coords" not in resp
+
+
+class TestErrorHygiene:
+    """Internal failures must never echo exception text to the client."""
+
+    @pytest.fixture()
+    def broken_server(self):
+        def broken(g, s, **kwargs):
+            raise RuntimeError("secret-compute-detail /private/path")
+
+        eng = LayoutEngine(
+            graph_loader=_tiny_loader,
+            algorithms={"broken": broken},
+            timeout=30,
+        )
+        srv = make_server(eng, port=0).start()
+        yield srv
+        srv.shutdown()
+        eng.close()
+
+    def test_internal_500_is_generic_with_error_id(self, broken_server, caplog):
+        import logging
+
+        with caplog.at_level(logging.ERROR, logger="repro.service.http"):
+            status, err = _post(
+                broken_server.url, {"graph": "grid", "algorithm": "broken"}
+            )
+        assert status == 500
+        assert err["error"] == "internal"
+        body = json.dumps(err)
+        assert "secret-compute-detail" not in body
+        assert "RuntimeError" not in body
+        assert "Traceback" not in body
+        # The client gets an opaque id; the operator greps the log for it.
+        assert err["error_id"] in err["message"]
+        assert err["error_id"] in caplog.text
+        assert "secret-compute-detail" in caplog.text
 
 
 # ---------------------------------------------------------------------------

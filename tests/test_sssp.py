@@ -106,6 +106,22 @@ class TestDeltaStepping:
         d = suggest_delta(g)
         assert 0 < d < 100
 
+    def test_suggest_delta_zero_edge_weighted_graph(self):
+        # Regression: `g.weights.max()` on an empty weight array raised
+        # ValueError; edgeless weighted graphs must fall back to 1.0.
+        g = from_edges(3, [], [], weights=[])
+        assert suggest_delta(g) == 1.0
+
+    def test_suggest_delta_non_finite_weights(self, small_random):
+        # Regression: an inf max weight produced delta = inf, which
+        # makes every edge "light" in bucket 0 and never advances.
+        g = random_integer_weights(small_random, 1, 16, seed=2)
+        w = g.weights.copy()
+        w[0] = np.inf
+        bad = g.with_weights(w)
+        d = suggest_delta(bad)
+        assert np.isfinite(d) and d == 1.0
+
 
 @settings(max_examples=25, deadline=None)
 @given(

@@ -7,8 +7,8 @@ insert/delete streams:
    built directly from the edited edge list;
 2. ``StreamSession`` incremental repair keeps the pivot-distance matrix
    exactly equal to fresh traversals on the edited graph, and the
-   resulting coordinates' stress matches a from-scratch ``parhde`` run
-   within tolerance.
+   resulting coordinates' stress matches the same-pivot pipeline run
+   from scratch on the edited graph within tight tolerance.
 """
 
 import numpy as np
@@ -17,8 +17,11 @@ from hypothesis import strategies as st
 
 from conftest import random_connected_graph
 from repro.bfs import run_sources
-from repro.core import parhde
 from repro.graph import from_edges
+from repro.linalg.blas import dense_gemm
+from repro.linalg.eigen import extreme_eigenpairs
+from repro.linalg.gram_schmidt import d_orthogonalize
+from repro.linalg.laplacian import laplacian_spmm
 from repro.metrics import sampled_stress
 from repro.service import graph_digest
 from repro.stream import DynamicGraph, StreamPolicy, StreamSession, edge_delta
@@ -111,11 +114,20 @@ def test_session_repair_matches_from_scratch(n, seed):
         fresh = run_sources(sess.graph, sess.pivots)
         np.testing.assert_array_equal(sess.B, fresh.distances)
 
-    # invariant 2: stress within tolerance of a from-scratch layout
+    # invariant 2: the session's frame matches the same-pivot pipeline
+    # run from scratch on the edited graph.  (A re-pivoted from-scratch
+    # parhde is the wrong reference: on small random graphs two
+    # legitimate pivot sets can differ in sampled stress by large
+    # factors, which makes any slack constant flaky.)
     edited = sess.graph
-    scratch = parhde(edited, s, seed=0)
+    B = run_sources(edited, sess.pivots).distances
+    ores = d_orthogonalize(B, edited.weighted_degrees)
+    S = ores.S
+    P = laplacian_spmm(edited, S)
+    Z = dense_gemm(S.T, P)
+    _evals, Y = extreme_eigenpairs(Z, 2, which="smallest")
     s_sess = sampled_stress(edited, sess.coords, samples=8, seed=0)
-    s_full = sampled_stress(edited, scratch.coords, samples=8, seed=0)
-    # repairs reuse the original pivots, so allow modest slack over the
-    # re-pivoted from-scratch run
-    assert s_sess <= s_full * 1.25 + 1e-9
+    s_same = sampled_stress(edited, S @ Y, samples=8, seed=0)
+    # Warm-start shortcuts (reused ortho columns, accepted Ritz pairs)
+    # are residual-gated, so only tiny numerical slack is needed.
+    assert s_sess <= s_same * 1.10 + 1e-9
