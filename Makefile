@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke examples results clean
+.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,14 @@ check-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli check barth --scale small --strict
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli check barth --scale tiny --strict --weighted
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.cli check barth --scale tiny --inject all
+
+# Resilience acceptance: walk the chaos failpoint matrix against a live
+# resilient server — every injected fault (stalled/failing kernels,
+# corrupted cache archives, failing disk writes, poisoned request keys)
+# must produce a documented recovery (retry, degraded tier, quarantine,
+# breaker short-circuit), never an unhandled error.
+chaos-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/chaos_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,148 @@
+"""Tail latency and availability with vs. without the degradation ladder.
+
+Replays the same deterministic request stream through two engines — the
+classic fail-fast compute path and the resilient one
+(:class:`~repro.service.engine.ResilienceConfig`) — under three traffic
+profiles:
+
+* **clean** — no faults: measures the pure overhead of running every
+  computation through the ladder machinery;
+* **stalls** — a third of the requests hit a chaos-injected BFS stall:
+  the per-phase budgets abandon the stalled rung, so the resilient p99
+  stays bounded by the request deadline (at the cost of a degraded
+  tier), while the fail-fast engine simply rides the stall out;
+* **faults** — a third of the requests hit a persistent kernel fault:
+  the fail-fast engine surfaces errors (availability drops), the ladder
+  descends and keeps answering.
+
+Reports per-engine success rate, p50/p99 latency and quality-tier mix
+into ``benchmarks/results/degradation_latency.txt``.  Like the service
+throughput benchmark this always runs at a small graph scale: the
+quantity under test is serving behavior, not layout time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.resilience import RetryPolicy, chaos
+from repro.service import (
+    LayoutEngine,
+    LayoutRequest,
+    ResilienceConfig,
+    ServiceError,
+)
+
+from conftest import load_cached
+
+N_REQUESTS = 12
+FAULT_EVERY = 3  # every 3rd request is faulty in the chaos profiles
+TIMEOUT = 2.5
+STALL = 0.35
+
+PROFILES = ("clean", "stalls", "faults")
+
+
+def _engine(g, *, resilient: bool) -> LayoutEngine:
+    return LayoutEngine(
+        workers=2,
+        queue_limit=16,
+        timeout=TIMEOUT,
+        graph_loader=lambda name, scale, seed: g,
+        resilience=(
+            ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1), breaker_threshold=10_000
+            )
+            if resilient
+            else None
+        ),
+    )
+
+
+def _replay(g, *, resilient: bool, profile: str) -> dict:
+    engine = _engine(g, resilient=resilient)
+    latencies: list[float] = []
+    tiers: dict[str, int] = {}
+    failures = 0
+    try:
+        for i in range(N_REQUESTS):
+            # Cold fingerprints throughout: every request computes.
+            request = LayoutRequest(
+                graph="bench", scale="tiny", s=8, seed=7000 + i
+            )
+            faulty = profile != "clean" and i % FAULT_EVERY == 0
+            if faulty and profile == "stalls":
+                fault = chaos.inject("parhde.bfs", sleep=STALL, times=1)
+            elif faulty and profile == "faults":
+                fault = chaos.inject("parhde.dortho", error=True)
+            else:
+                fault = None
+            t0 = time.perf_counter()
+            try:
+                if fault is not None:
+                    with fault:
+                        response = engine.submit(request)
+                else:
+                    response = engine.submit(request)
+            except ServiceError:
+                failures += 1
+            else:
+                tier = response.quality_tier
+                tiers[tier] = tiers.get(tier, 0) + 1
+            latencies.append(time.perf_counter() - t0)
+    finally:
+        chaos.reset()
+        engine.close()
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        return ordered[min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1)))]
+
+    return {
+        "success_rate": (N_REQUESTS - failures) / N_REQUESTS,
+        "p50": pct(50),
+        "p99": pct(99),
+        "max": ordered[-1],
+        "tiers": tiers,
+    }
+
+
+def _run_matrix() -> dict:
+    g = load_cached("barth", "tiny")
+    return {
+        (profile, mode): _replay(g, resilient=(mode == "ladder"), profile=profile)
+        for profile in PROFILES
+        for mode in ("fail-fast", "ladder")
+    }
+
+
+def test_degradation_latency(benchmark, report):
+    results = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+
+    # The ladder's availability contract: every chaos request answers.
+    assert results[("faults", "ladder")]["success_rate"] == 1.0
+    assert results[("stalls", "ladder")]["success_rate"] == 1.0
+    # The fail-fast path surfaces the persistent faults as errors.
+    assert results[("faults", "fail-fast")]["success_rate"] < 1.0
+    # Degradation keeps the stalled tail inside the request deadline.
+    assert results[("stalls", "ladder")]["p99"] < TIMEOUT
+
+    header = (
+        f"{'profile':<10} {'engine':<10} {'ok%':>6} {'p50 ms':>9}"
+        f" {'p99 ms':>9} {'max ms':>9}  tiers"
+    )
+    lines = [
+        f"{'requests/profile':<22} {N_REQUESTS}",
+        f"{'faulty share':<22} 1/{FAULT_EVERY}",
+        f"{'request timeout':<22} {TIMEOUT:.1f}s",
+        f"{'injected BFS stall':<22} {STALL:.2f}s",
+        "",
+        header,
+    ]
+    for (profile, mode), r in results.items():
+        lines.append(
+            f"{profile:<10} {mode:<10} {r['success_rate'] * 100:>5.0f}%"
+            f" {r['p50'] * 1000:>9.1f} {r['p99'] * 1000:>9.1f}"
+            f" {r['max'] * 1000:>9.1f}  {r['tiers']}"
+        )
+    report("degradation_latency", "\n".join(lines))

@@ -132,6 +132,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_layout.add_argument("--png", help="write a drawing")
     p_layout.add_argument("--width", type=int, default=800)
+    p_layout.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="crash-safe phase checkpoints: persist B after the BFS phase"
+        " and S after DOrtho under DIR, and resume an interrupted"
+        " identical run from them (parhde only)",
+    )
 
     p_gaps = sub.add_parser("gaps", help="adjacency-gap histogram (Fig 2)")
     _add_graph_args(p_gaps)
@@ -201,6 +208,20 @@ def main(argv: list[str] | None = None) -> int:
                          help="directory for the persistent disk cache tier")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
+    p_serve.add_argument(
+        "--resilience",
+        action="store_true",
+        help="serve degraded (never erroring) layouts under failures and"
+        " deadline pressure: degradation ladder + retries + per-graph"
+        " circuit breakers (see docs/resilience.md)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="graceful-shutdown budget: seconds to wait for in-flight"
+        " requests after SIGTERM/SIGINT before exiting",
+    )
 
     p_stream = sub.add_parser(
         "stream",
@@ -240,6 +261,12 @@ def main(argv: list[str] | None = None) -> int:
         "--save-layout",
         metavar="FILE.npz",
         help="save the final frame (warm-startable archive)",
+    )
+    p_stream.add_argument(
+        "--autosave",
+        metavar="FILE.npz",
+        help="crash-safe persistence: atomically save the frame after"
+        " every update, and resume from FILE when it already exists",
     )
     p_stream.add_argument(
         "--strict",
@@ -318,7 +345,29 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {}
         if args.algo == "parhde":
             kwargs["pivots"] = args.pivots
+        ckpt = None
+        if getattr(args, "checkpoint", None):
+            if args.algo != "parhde":
+                parser.error("--checkpoint requires --algo parhde")
+            from .resilience import CheckpointStore
+
+            ckpt = CheckpointStore(args.checkpoint).bind(
+                g,
+                dict(
+                    algo=args.algo,
+                    s=args.subspace,
+                    seed=args.seed,
+                    pivots=args.pivots,
+                ),
+            )
+            kwargs["checkpoint"] = ckpt
         res = algo(g, args.subspace, seed=args.seed, **kwargs)
+        if ckpt is not None:
+            print(
+                f"checkpoint {ckpt.dir}: restored={ckpt.stats['restores']}"
+                f" saved={ckpt.stats['saves']}",
+                file=sys.stderr,
+            )
         print(
             f"{args.algo}: s={args.subspace} pivots={list(map(int, res.pivots))} "
             f"dropped={res.dropped}",
@@ -487,6 +536,9 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _serve(args) -> int:
+    import signal
+    import threading
+
     from .service import LayoutCache, LayoutEngine, make_server
 
     cache = LayoutCache(
@@ -498,6 +550,7 @@ def _serve(args) -> int:
         workers=args.workers,
         queue_limit=args.queue_depth,
         timeout=args.timeout,
+        resilience=True if args.resilience else None,
     )
     server = make_server(
         engine, host=args.host, port=args.port, verbose=args.verbose
@@ -508,6 +561,7 @@ def _serve(args) -> int:
         f" (workers={args.workers}, queue={args.queue_depth},"
         f" cache={args.cache_mb:g} MiB"
         + (f", disk={args.cache_dir}" if args.cache_dir else "")
+        + (", resilience=on" if args.resilience else "")
         + ")",
         file=sys.stderr,
     )
@@ -516,13 +570,37 @@ def _serve(args) -> int:
         "  GET /stats[?format=text]",
         file=sys.stderr,
     )
+
+    stop = threading.Event()
+
+    def _signalled(signum, frame):  # noqa: ARG001 — signal API
+        stop.set()
+
     try:
-        server.serve_forever()
+        signal.signal(signal.SIGTERM, _signalled)
+        signal.signal(signal.SIGINT, _signalled)
+    except ValueError:
+        pass  # not the main thread (embedded use) — Ctrl-C still works
+
+    server.start()
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
     except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
-    finally:
-        server.shutdown()
-        engine.close()
+        pass
+    # Graceful shutdown: flip to draining (new POSTs get 503, /healthz
+    # reports "draining"), wait out in-flight work, persist the cache,
+    # then stop the accept loop.
+    print("draining: refusing new work", file=sys.stderr)
+    clean = server.drain(args.drain_timeout)
+    flushed = cache.flush()
+    server.shutdown()
+    engine.close()
+    print(
+        f"shutdown: drained={'clean' if clean else 'timed out'}"
+        f" cache_flushed={flushed}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -566,13 +644,23 @@ def _stream(g, args, parser) -> int:
         staleness_limit=args.staleness_limit,
     )
     t0 = time.perf_counter()
+    autosave = getattr(args, "autosave", None)
     if args.layout:
         try:
             session = StreamSession.from_layout(
-                g, args.layout, policy=policy
+                g, args.layout, policy=policy, autosave=autosave
             )
         except (OSError, ValueError, KeyError) as exc:
             parser.error(f"cannot warm-start from {args.layout!r}: {exc}")
+    elif autosave:
+        session = StreamSession.resume(
+            g, autosave, s=args.subspace, seed=args.seed, policy=policy
+        )
+        if session.epoch:
+            print(
+                f"resumed from {autosave} (epoch {session.epoch})",
+                file=sys.stderr,
+            )
     else:
         session = StreamSession(
             g, args.subspace, seed=args.seed, policy=policy

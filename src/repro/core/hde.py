@@ -39,6 +39,8 @@ from ..linalg.gram_schmidt import d_orthogonalize
 from ..linalg.laplacian import laplacian_spmm
 from ..parallel.costs import KernelCost, Ledger
 from ..parallel.primitives import F64, map_cost
+from ..resilience.chaos import failpoint
+from ..resilience.deadline import Deadline, phase_scope
 from ..validate import (
     ValidationPolicy,
     check_bfs_levels,
@@ -68,6 +70,8 @@ def parhde(
     delta: float | None = None,
     ledger: Ledger | None = None,
     validate: ValidationPolicy | str | None = None,
+    deadline: Deadline | None = None,
+    checkpoint=None,
 ) -> LayoutResult:
     """Compute a ``dims``-dimensional spectral layout of ``g``.
 
@@ -112,6 +116,22 @@ def parhde(
         warn on violation), ``"strict"`` (raise
         :class:`~repro.validate.InvariantViolation`), or a configured
         :class:`~repro.validate.ValidationPolicy`.
+    deadline:
+        Optional :class:`~repro.resilience.Deadline`.  Checked after
+        each phase (the kernels are uninterruptible); a phase running
+        past its budget, or the total budget expiring, raises
+        :class:`~repro.resilience.DeadlineExceeded` so callers (the
+        degradation ladder, the serving engine) can fall back instead
+        of blocking.
+    checkpoint:
+        Optional :class:`~repro.resilience.RunCheckpoint` (or anything
+        with ``load(phase) -> dict | None`` / ``save(phase,
+        **arrays)``).  The expensive intermediates — ``B`` and the
+        pivots after the BFS phase, ``S`` after DOrtho — are persisted
+        after each phase and restored on the next identical run, so an
+        interrupted layout resumes instead of restarting and (the
+        arrays round-tripping bit-exactly) produces coordinates
+        bitwise-equal to an uninterrupted run.
 
     Returns
     -------
@@ -142,17 +162,29 @@ def parhde(
     g_traverse = g
     if weighted and weight_interpretation == "similarity":
         g_traverse = g.with_weights(float(g.weights.max()) / g.weights)
-    with led.phase("BFS"):
-        ms = select_and_traverse(
-            g_traverse,
-            s,
-            strategy=pivots,
-            seed=seed,
-            ledger=led,
-            weighted=weighted,
-            delta=delta,
-        )
-    B = ms.distances
+    restored = checkpoint.load("bfs") if checkpoint is not None else None
+    if restored is not None:
+        B = restored["B"]
+        sources = restored["pivots"]
+        bfs_stats = []
+        checkpoint.mark_restored()
+    else:
+        with led.phase("BFS"), phase_scope(deadline, "BFS"):
+            failpoint("parhde.bfs")
+            ms = select_and_traverse(
+                g_traverse,
+                s,
+                strategy=pivots,
+                seed=seed,
+                ledger=led,
+                weighted=weighted,
+                delta=delta,
+            )
+        B = ms.distances
+        sources = ms.sources
+        bfs_stats = ms.stats
+        if checkpoint is not None:
+            checkpoint.save("bfs", B=B, pivots=sources)
     if weighted:
         if not np.all(np.isfinite(B)):
             raise ValueError("graph must be connected (infinite distances found)")
@@ -162,26 +194,42 @@ def parhde(
         # Levels are checked against the graph actually traversed (the
         # similarity reading inverts the weights before SSSP).
         policy.handle(
-            check_bfs_levels(g_traverse, B, ms.sources, weighted=weighted)
+            check_bfs_levels(g_traverse, B, sources, weighted=weighted)
         )
 
     # Phase 2: D-orthogonalization.
     d = g.weighted_degrees if ortho == "D" else None
-    with led.phase("DOrtho"):
-        ores = d_orthogonalize(
-            B, d, method=gs_method, drop_tol=drop_tol, ledger=led
-        )
-    if ores.S.shape[1] < dims:
+    restored = checkpoint.load("dortho") if checkpoint is not None else None
+    if restored is not None:
+        S = restored["S"]
+        kept = [int(i) for i in restored["kept"]]
+        dropped = [int(i) for i in restored["dropped"]]
+        checkpoint.mark_restored()
+    else:
+        with led.phase("DOrtho"), phase_scope(deadline, "DOrtho"):
+            failpoint("parhde.dortho")
+            ores = d_orthogonalize(
+                B, d, method=gs_method, drop_tol=drop_tol, ledger=led
+            )
+        S, kept, dropped = ores.S, ores.kept, ores.dropped
+        if checkpoint is not None:
+            checkpoint.save(
+                "dortho",
+                S=S,
+                kept=np.asarray(kept, dtype=np.int64),
+                dropped=np.asarray(dropped, dtype=np.int64),
+            )
+    if S.shape[1] < dims:
         raise ValueError(
-            f"only {ores.S.shape[1]} independent distance vectors survived; "
+            f"only {S.shape[1]} independent distance vectors survived; "
             f"increase s (got s={s}) or check the graph"
         )
-    S = ores.S
     if policy.enabled:
         policy.handle(check_d_orthogonality(S, d, tol=policy.ortho_tol))
 
     # Phase 3: TripleProd — P = L S, then Z = S' P.
-    with led.phase("TripleProd"):
+    with led.phase("TripleProd"), phase_scope(deadline, "TripleProd"):
+        failpoint("parhde.tripleprod")
         P = laplacian_spmm(g, S, ledger=led, subphase="LS")
         Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")
     if policy.enabled and policy.run_deep:
@@ -192,9 +240,10 @@ def parhde(
         )
 
     # Phase 4 ("Other"): eigensolve on the tiny matrix + back-projection.
-    with led.phase("Other"):
+    with led.phase("Other"), phase_scope(deadline, "Other"):
+        failpoint("parhde.eigensolve")
         evals, Y = extreme_eigenpairs(Z, dims, which="smallest")
-        basis = S if project_basis == "S" else B[:, ores.kept]
+        basis = S if project_basis == "S" else B[:, kept]
         coords = basis @ Y
         led.add(
             map_cost(
@@ -212,9 +261,9 @@ def parhde(
         B=B,
         S=S,
         eigenvalues=evals,
-        pivots=ms.sources,
-        bfs_stats=ms.stats,
-        dropped=ores.dropped,
+        pivots=sources,
+        bfs_stats=bfs_stats,
+        dropped=dropped,
         ledger=led,
         params=dict(
             s=s,

@@ -60,6 +60,16 @@ class LayoutResult:
         return self.coords.shape[0]
 
     @property
+    def quality_tier(self) -> str:
+        """Degradation tier that produced this layout (default ``"full"``).
+
+        Set by :func:`repro.resilience.resilient_layout` when a request
+        was served from a lower rung of the degradation ladder; results
+        from a direct pipeline call are always ``"full"``.
+        """
+        return str(self.params.get("quality_tier", "full"))
+
+    @property
     def x(self) -> np.ndarray:
         return self.coords[:, 0]
 

@@ -1,0 +1,198 @@
+"""Circuit breakers: stop burning workers on a request that cannot work.
+
+A request shape that keeps failing — a graph whose layout crashes a
+kernel, an algorithm hitting a numerical pathology — will fail again if
+retried immediately; letting every arrival occupy a
+:class:`~repro.parallel.pool.TaskPool` worker converts one bad key into
+whole-service brownout.  The classic remedy is the circuit breaker:
+
+* **closed** — normal operation; failures are counted.
+* **open** — after ``failure_threshold`` *consecutive* failures the
+  breaker trips: arrivals fast-fail (or are served degraded) without
+  touching the pool, for ``reset_timeout`` seconds.
+* **half-open** — after the timeout, exactly one probe request is let
+  through.  Success closes the breaker; failure re-opens it for another
+  timeout.
+
+The engine keys breakers per ``(graph, algorithm)``
+(:class:`BreakerRegistry`), so one poisoned request shape cannot trip
+service for every other graph.  Clocks are injectable for deterministic
+tests, and every state transition is reported through an optional
+callback (the engine wires telemetry counters and gauges there; the
+callback runs under the breaker lock and must not call back into it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["BreakerOpen", "CircuitBreaker", "BreakerRegistry"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class BreakerOpen(RuntimeError):
+    """Raised (or mapped to a degraded response) when the circuit is open."""
+
+
+class CircuitBreaker:
+    """One key's breaker; thread-safe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_timeout:
+        Seconds the breaker stays open before allowing a half-open probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    on_transition:
+        ``(old_state, new_state)`` callback fired on every change.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for open → half-open expiry."""
+        with self._lock:
+            return self._observe()
+
+    def _observe(self) -> str:
+        # Lock held.  An expired open breaker becomes half-open.
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._set(HALF_OPEN)
+        return self._state
+
+    def _set(self, new: str) -> None:
+        # Lock held.
+        old, self._state = self._state, new
+        if new == HALF_OPEN:
+            self._probing = False
+        if old != new and self._on_transition is not None:
+            self._on_transition(old, new)
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        Half-open admits exactly one probe; concurrent arrivals during
+        the probe are refused (they would all hammer the suspect path).
+        """
+        with self._lock:
+            state = self._observe()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._set(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._observe()
+            if state == HALF_OPEN:
+                # The probe failed: back to a full open window.
+                self._opened_at = self._clock()
+                self._set(OPEN)
+            else:
+                self._failures += 1
+                if self._failures >= self.failure_threshold and state == CLOSED:
+                    self._opened_at = self._clock()
+                    self._set(OPEN)
+
+
+class BreakerRegistry:
+    """Per-key breakers created on first use, with a shared config.
+
+    ``snapshot()`` feeds the engine's ``/stats`` payload: state counts
+    plus the non-closed keys (listing every closed breaker would bloat
+    the payload on a long-lived server).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ):
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            br = self._breakers.get(key)
+            if br is None:
+                callback = None
+                if self._on_transition is not None:
+                    hook = self._on_transition
+                    callback = lambda old, new, _k=key: hook(_k, old, new)  # noqa: E731
+                br = self._breakers[key] = CircuitBreaker(
+                    self.failure_threshold,
+                    self.reset_timeout,
+                    clock=self._clock,
+                    on_transition=callback,
+                )
+            return br
+
+    def allow(self, key: str) -> bool:
+        return self.breaker(key).allow()
+
+    def record(self, key: str, ok: bool) -> None:
+        br = self.breaker(key)
+        br.record_success() if ok else br.record_failure()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            items = list(self._breakers.items())
+        counts = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+        tripped: dict[str, str] = {}
+        for key, br in items:
+            state = br.state
+            counts[state] = counts.get(state, 0) + 1
+            if state != CLOSED:
+                tripped[key] = state
+        return {
+            "keys": len(items),
+            "closed": counts[CLOSED],
+            "open": counts[OPEN],
+            "half_open": counts[HALF_OPEN],
+            "tripped": tripped,
+        }

@@ -1,0 +1,196 @@
+"""Crash-safe phase checkpoints for the layout pipeline.
+
+A layout of a large graph spends most of its time in the BFS and DOrtho
+phases; a process killed in minute nine of a ten-minute run should not
+owe the world those nine minutes again.  :class:`CheckpointStore`
+persists the expensive intermediates — the pivot-distance matrix ``B``
+(with its pivots) after the BFS phase, the orthonormal basis ``S`` after
+DOrtho — keyed by a digest of the graph *and* every parameter that
+shapes those arrays.  Re-running the identical command resumes from the
+last completed phase and, because the persisted arrays are bit-exact,
+produces a layout bitwise-equal to an uninterrupted run.
+
+Durability discipline (same as the disk cache, because the failure
+modes are the same):
+
+* **atomic publish** — payloads are written to a temp file in the
+  target directory and ``os.replace``d into place, so a reader never
+  sees a torn archive;
+* **checksummed loads** — a sha256 sidecar is published before the
+  payload; a load recomputes the digest and treats any mismatch (or a
+  missing sidecar — an interrupted write) as corruption;
+* **quarantine** — corrupt files are moved into ``quarantine/`` for
+  post-mortem instead of being re-read (and re-failed) forever.
+
+The store is deliberately duck-type compatible with what
+:func:`repro.core.parhde` expects from its ``checkpoint`` argument:
+``load(phase) -> dict | None`` and ``save(phase, **arrays)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from .chaos import failpoint
+
+__all__ = ["CheckpointStore", "RunCheckpoint", "run_key"]
+
+logger = logging.getLogger("repro.resilience.checkpoint")
+
+
+def run_key(g, params: Mapping[str, Any]) -> str:
+    """Digest identifying one (graph, parameters) run (hex sha256).
+
+    Folds in the graph's content digest and the canonical parameter
+    encoding, so a checkpoint can only ever resume the run that wrote
+    it — a different seed, pivot strategy or graph gets a fresh key.
+    """
+    # Imported lazily: the fingerprint helpers live in the service
+    # package, whose __init__ pulls in the engine (and through it the
+    # core pipeline); importing it at module load would cycle.
+    from ..service.fingerprint import canonical_params, graph_digest
+
+    h = hashlib.sha256()
+    h.update(b"repro-checkpoint-v1\x1f")
+    h.update(graph_digest(g).encode())
+    h.update(b"\x1f")
+    h.update(canonical_params(dict(params)).encode())
+    return h.hexdigest()
+
+
+def _sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class RunCheckpoint:
+    """Checkpoints of one specific run, living under ``root/<key>/``."""
+
+    def __init__(self, root: Path, key: str):
+        self.key = key
+        self.dir = Path(root) / key[:32]
+        self.stats = {"saves": 0, "restores": 0, "corrupt": 0, "errors": 0}
+
+    # -- paths -------------------------------------------------------------
+    def _payload(self, phase: str) -> Path:
+        return self.dir / f"{phase}.npz"
+
+    def _sidecar(self, phase: str) -> Path:
+        return self.dir / f"{phase}.npz.sha256"
+
+    # -- API consumed by parhde(checkpoint=...) ----------------------------
+    def save(self, phase: str, **arrays: np.ndarray) -> bool:
+        """Atomically persist one phase's arrays; ``True`` on success.
+
+        Persistence failures are absorbed (logged + counted): a
+        checkpoint is an optimization, and a full disk must not kill the
+        run it was meant to protect.
+        """
+        try:
+            failpoint("checkpoint.save")
+            self.dir.mkdir(parents=True, exist_ok=True)
+            buf = io.BytesIO()
+            np.savez(buf, **arrays)
+            data = buf.getvalue()
+            digest = _sha256_bytes(data)
+            # Sidecar first: a payload without a sidecar is treated as
+            # corrupt, so publishing the digest before the payload means
+            # a crash at any point leaves a state a reader rejects or
+            # ignores, never one it trusts wrongly.
+            for target, content in (
+                (self._sidecar(phase), digest.encode()),
+                (self._payload(phase), data),
+            ):
+                fd, tmp = tempfile.mkstemp(dir=self.dir, prefix=".tmp-")
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(content)
+                    os.replace(tmp, target)
+                except BaseException:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+                    raise
+        except Exception as exc:  # noqa: BLE001 — checkpointing is best-effort
+            self.stats["errors"] += 1
+            logger.warning("checkpoint save %s/%s failed: %s", self.key[:12], phase, exc)
+            return False
+        self.stats["saves"] += 1
+        return True
+
+    def load(self, phase: str) -> dict[str, np.ndarray] | None:
+        """Checksum-verified load of one phase (``None`` if unusable)."""
+        payload = self._payload(phase)
+        if not payload.exists():
+            return None
+        try:
+            data = payload.read_bytes()
+            sidecar = self._sidecar(phase)
+            expected = (
+                sidecar.read_text().strip() if sidecar.exists() else None
+            )
+            if expected is None or _sha256_bytes(data) != expected:
+                self._quarantine(phase, "checksum mismatch" if expected else "missing checksum")
+                return None
+            with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+                return {name: npz[name] for name in npz.files}
+        except Exception as exc:  # noqa: BLE001 — unreadable == corrupt
+            self.stats["errors"] += 1
+            self._quarantine(phase, str(exc))
+            return None
+
+    # -- housekeeping ------------------------------------------------------
+    def _quarantine(self, phase: str, reason: str) -> None:
+        self.stats["corrupt"] += 1
+        qdir = self.dir / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            for path in (self._payload(phase), self._sidecar(phase)):
+                if path.exists():
+                    os.replace(path, qdir / path.name)
+            logger.warning(
+                "checkpoint %s/%s corrupt (%s); moved to %s",
+                self.key[:12], phase, reason, qdir,
+            )
+        except OSError:
+            # Can't even move it: drop the payload so we stop re-reading it.
+            try:
+                self._payload(phase).unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def phases(self) -> list[str]:
+        """Completed (present, not necessarily verified) phase names."""
+        if not self.dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.dir.glob("*.npz"))
+
+    def clear(self) -> None:
+        """Delete this run's checkpoints (keep the quarantine)."""
+        if not self.dir.is_dir():
+            return
+        for p in self.dir.glob("*.npz"):
+            p.unlink(missing_ok=True)
+        for p in self.dir.glob("*.npz.sha256"):
+            p.unlink(missing_ok=True)
+
+    def mark_restored(self, count: int = 1) -> None:
+        self.stats["restores"] += count
+
+
+class CheckpointStore:
+    """Directory of per-run checkpoints (the ``--checkpoint DIR`` root)."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def bind(self, g, params: Mapping[str, Any]) -> RunCheckpoint:
+        """The checkpoint namespace for one (graph, params) run."""
+        return RunCheckpoint(self.root, run_key(g, params))

@@ -1,0 +1,137 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+Transient failures — an eigensolve that refuses to converge for one
+starting vector, a disk write hitting a momentarily-full volume, a
+chaos-injected kernel fault — deserve another attempt; malformed
+requests do not.  :class:`RetryPolicy` encodes that distinction plus the
+backoff schedule, and :func:`with_retry` drives it.
+
+Design points that matter for the serving stack:
+
+* **Deadline-aware** — a retry never sleeps past the caller's
+  :class:`~repro.resilience.deadline.Deadline`; when the budget cannot
+  cover another attempt, the last error propagates immediately.
+* **Deterministic jitter** — the jitter stream is seeded, so tests (and
+  incident reproductions) see the same schedule every time.  Jitter
+  still decorrelates *different* callers because each call site passes
+  its own seed (the engine uses the request fingerprint).
+* **Adaptive attempts** — the callable receives the attempt number, so
+  callers can restart an eigensolve with a fresh seed or a larger
+  subspace on each try, as the degradation ladder does.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from .deadline import Deadline, DeadlineExceeded
+
+__all__ = ["RetryPolicy", "TransientError", "with_retry"]
+
+T = TypeVar("T")
+
+
+class TransientError(RuntimeError):
+    """An error worth retrying (the default retryable marker type)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule plus the is-this-retryable decision.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (1 = no retries).
+    base_delay / max_delay:
+        Exponential backoff: attempt ``k`` (0-based) sleeps
+        ``min(max_delay, base_delay * 2**k)`` before jitter.
+    jitter:
+        Fraction of the delay randomized away (0 = none, 0.5 = the
+        delay is uniform in ``[0.5 d, d]``), decorrelating retry storms.
+    retryable:
+        Exception types worth retrying.  Everything else propagates
+        immediately.
+    should_retry:
+        Optional predicate consulted *in addition to* ``retryable``
+        (either matching makes the error retryable) for cases a type
+        test cannot express, e.g. a ``ValueError`` whose message marks
+        a rank-deficient subspace that a larger ``s`` would fix.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    retryable: tuple[type[BaseException], ...] = (TransientError, OSError)
+    should_retry: Callable[[BaseException], bool] | None = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        if isinstance(exc, DeadlineExceeded):
+            return False  # out of time is out of time
+        if isinstance(exc, self.retryable):
+            return True
+        return self.should_retry is not None and self.should_retry(exc)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered."""
+        raw = min(self.max_delay, self.base_delay * (2.0**attempt))
+        if self.jitter <= 0 or raw <= 0:
+            return raw
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+def with_retry(
+    fn: Callable[[int], T],
+    *,
+    policy: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
+    seed: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> T:
+    """Call ``fn(attempt)`` until it succeeds or the policy gives up.
+
+    ``fn`` receives the 0-based attempt number so it can vary its own
+    inputs per try (fresh seed, larger subspace).  ``on_retry`` is
+    called as ``(attempt, error, delay)`` before each backoff sleep —
+    the engine hooks telemetry there.  Raises the last error when
+    attempts are exhausted, the error is not retryable, or the deadline
+    cannot cover the backoff.
+    """
+    pol = policy if policy is not None else RetryPolicy()
+    rng = random.Random(seed)
+    last: BaseException | None = None
+    for attempt in range(pol.max_attempts):
+        if deadline is not None and deadline.expired():
+            if last is not None:
+                raise last
+            deadline.check("retry loop")
+        try:
+            return fn(attempt)
+        except BaseException as exc:  # noqa: BLE001 — classified below
+            last = exc
+            final = attempt == pol.max_attempts - 1
+            if final or not pol.is_retryable(exc):
+                raise
+            pause = pol.delay(attempt, rng)
+            if deadline is not None and deadline.remaining() <= pause:
+                raise  # no time to back off and try again
+            if on_retry is not None:
+                on_retry(attempt, exc, pause)
+            if pause > 0:
+                sleep(pause)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -21,6 +21,14 @@ deployment would:
   (``POST /layout``, ``POST /update``, ``GET /healthz``, ``GET /stats``)
   on the stdlib ``http.server``, wired to the CLI as ``parhde serve``.
 
+Resilience (see :mod:`repro.resilience` and ``docs/resilience.md``):
+the engine can run its computations through a deadline-aware
+degradation ladder with retries and per-(graph, algorithm) circuit
+breakers (``LayoutEngine(resilience=...)``); the disk cache tier is
+crash-safe (atomic checksummed writes, quarantine of corrupt entries);
+and ``LayoutServer.drain()`` implements graceful shutdown (503 for new
+work, bounded wait for in-flight work).
+
 Named graphs are *dynamic*: ``POST /update`` applies an
 :class:`~repro.stream.EdgeDelta` through the engine and bumps the graph
 epoch, which is folded into every fingerprint — cached layouts of the
@@ -35,6 +43,7 @@ from .engine import (
     LayoutResponse,
     Overloaded,
     RequestTimeout,
+    ResilienceConfig,
     ServiceError,
     UpdateRequest,
     UpdateResponse,
@@ -47,12 +56,13 @@ from .fingerprint import (
     layout_fingerprint,
 )
 from .http import LayoutServer, make_server
-from .telemetry import Counter, Histogram, Telemetry
+from .telemetry import Counter, Gauge, Histogram, Telemetry
 
 __all__ = [
     "FINGERPRINT_VERSION",
     "BadRequest",
     "Counter",
+    "Gauge",
     "Histogram",
     "LayoutCache",
     "LayoutEngine",
@@ -61,6 +71,7 @@ __all__ = [
     "LayoutServer",
     "Overloaded",
     "RequestTimeout",
+    "ResilienceConfig",
     "ServiceError",
     "Telemetry",
     "UpdateRequest",

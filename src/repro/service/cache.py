@@ -22,10 +22,23 @@ the fingerprint-format version *and the graph epoch*.  Disk filenames
 are the fingerprints themselves, so a graph update — which bumps the
 epoch — moves every affected key and a pre-update layout can never be
 served from either tier for the post-update graph.
+
+Durability: every archive is published atomically (temp file +
+``os.replace``) with a sha256 sidecar written *first*, so a crash
+mid-write never leaves a payload without its sidecar.  Loads re-hash
+the payload; a checksum mismatch or unreadable archive is logged once,
+counted in the ``disk_corrupt`` stat and the files are moved to a
+``quarantine/`` subdirectory for post-mortem instead of being re-read
+(and re-failed) on every subsequent request.  A payload *without* a
+sidecar is therefore a pre-warmed entry (a CLI-saved archive dropped
+into the directory): it is adopted — parsed, counted as
+``disk_adopted``, and given its sidecar — not quarantined.
 """
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
 import tempfile
 import threading
@@ -34,8 +47,11 @@ from pathlib import Path
 
 from ..core.result import LayoutResult
 from ..core.serialize import load_layout, save_layout
+from ..resilience.chaos import failpoint
 
 __all__ = ["LayoutCache", "layout_nbytes"]
+
+logger = logging.getLogger("repro.service.cache")
 
 _ARRAY_FIELDS = ("coords", "B", "S", "eigenvalues", "pivots")
 
@@ -87,6 +103,9 @@ class LayoutCache:
             "stores": 0,
             "evictions": 0,
             "disk_errors": 0,
+            "disk_corrupt": 0,
+            "disk_adopted": 0,
+            "flushes": 0,
         }
 
     # -- introspection -----------------------------------------------------
@@ -155,6 +174,26 @@ class LayoutCache:
             self._mem.clear()
             self._mem_bytes = 0
 
+    def flush(self) -> int:
+        """Persist every memory-tier entry to disk; returns entries written.
+
+        Called on graceful shutdown so warm state survives the restart.
+        Entries already on disk are skipped; failures are counted in
+        ``disk_errors`` and do not abort the flush.  A no-op (returning
+        0) without a disk tier.
+        """
+        if self.disk_dir is None:
+            return 0
+        with self._lock:
+            entries = [(fp, result) for fp, (result, _) in self._mem.items()]
+        written = 0
+        for fp, result in entries:
+            if self._disk_store(fp, result, overwrite=False):
+                written += 1
+        with self._lock:
+            self._counts["flushes"] += 1
+        return written
+
     # -- memory tier (call with lock held) ---------------------------------
     def _insert_memory(
         self, fingerprint: str, result: LayoutResult, *, spill: bool
@@ -190,15 +229,82 @@ class LayoutCache:
             return None
         return self.disk_dir / f"{fingerprint}.npz"
 
+    def _sidecar_path(self, path: Path) -> Path:
+        return path.with_name(path.name + ".sha256")
+
+    def _write_sidecar(self, path: Path, digest: str) -> bool:
+        """Atomically publish ``digest`` next to ``path``; never raises
+        (adopting a pre-warmed entry must not fail the load that found
+        it — a False just means the next load re-adopts)."""
+        try:
+            sfd, stmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            try:
+                with os.fdopen(sfd, "w") as fh:
+                    fh.write(digest)
+                os.replace(stmp, self._sidecar_path(path))
+            finally:
+                if os.path.exists(stmp):
+                    os.unlink(stmp)
+        except OSError:
+            return False
+        return True
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt archive (and sidecar) aside; log exactly once.
+
+        Because the files are *moved*, the fingerprint misses cleanly on
+        every later request — the warning below is the single log line a
+        given corrupt entry ever produces.
+        """
+        with self._lock:
+            self._counts["disk_corrupt"] += 1
+        qdir = path.parent / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            for victim in (path, self._sidecar_path(path)):
+                if victim.exists():
+                    os.replace(victim, qdir / victim.name)
+            logger.warning(
+                "disk cache entry %s corrupt (%s); quarantined to %s",
+                path.name, reason, qdir,
+            )
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            logger.warning(
+                "disk cache entry %s corrupt (%s); removed", path.name, reason
+            )
+
     def _disk_load(self, fingerprint: str) -> LayoutResult | None:
         path = self._disk_path(fingerprint)
         if path is None or not path.exists():
             return None
         try:
+            failpoint("cache.disk_load")
+            data = path.read_bytes()
+            sidecar = self._sidecar_path(path)
+            expected = sidecar.read_text().strip() if sidecar.exists() else None
+            if expected is None:
+                # Our own writes publish the sidecar *before* the
+                # payload, so a payload with no sidecar is a pre-warmed
+                # entry (a CLI-saved archive dropped into the
+                # directory), never a torn write: adopt it if it
+                # parses, writing the missing sidecar for next time.
+                result = load_layout(path)
+                self._write_sidecar(path, hashlib.sha256(data).hexdigest())
+                with self._lock:
+                    self._counts["disk_adopted"] += 1
+                return result
+            if hashlib.sha256(data).hexdigest() != expected:
+                self._quarantine(path, "checksum mismatch")
+                return None
             return load_layout(path)
-        except Exception:
+        except Exception as exc:
             with self._lock:
                 self._counts["disk_errors"] += 1
+            self._quarantine(path, f"{type(exc).__name__}: {exc}")
             return None
 
     def _disk_store(
@@ -212,14 +318,25 @@ class LayoutCache:
         if not overwrite and path.exists():
             return True
         try:
+            failpoint("cache.disk_store")
             path.parent.mkdir(parents=True, exist_ok=True)
-            # Write-then-rename so concurrent readers never see a torn file.
+            # Write-then-rename so concurrent readers never see a torn
+            # file; the checksum sidecar is published *before* the
+            # payload so an interrupted write leaves at worst a sidecar
+            # without its payload (a clean miss), never a trusted torn
+            # archive — which is what lets a payload *without* a
+            # sidecar be safely adopted as pre-warmed on load.
             fd, tmp = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".npz"
             )
             os.close(fd)
             try:
                 save_layout(result, tmp)
+                digest = hashlib.sha256(Path(tmp).read_bytes()).hexdigest()
+                if not self._write_sidecar(path, digest):
+                    raise OSError(
+                        f"failed to publish checksum sidecar for {path.name}"
+                    )
                 os.replace(tmp, path)
             finally:
                 if os.path.exists(tmp):

@@ -35,6 +35,9 @@ from ..core import parhde, phde, pivotmds
 from ..core.result import LayoutResult
 from ..graph.csr import CSRGraph
 from ..parallel.pool import PoolSaturated, TaskPool
+from ..resilience import BreakerRegistry, Deadline, RetryPolicy
+from ..resilience.breaker import OPEN
+from ..resilience.ladder import baseline_layout, resilient_layout
 from ..stream.delta import edge_delta
 from ..stream.overlay import DynamicGraph
 from ..validate import (
@@ -53,6 +56,7 @@ __all__ = [
     "LayoutResponse",
     "Overloaded",
     "RequestTimeout",
+    "ResilienceConfig",
     "ServiceError",
     "UpdateRequest",
     "UpdateResponse",
@@ -101,6 +105,52 @@ class ValidationFailed(ServiceError):
 
     code = "invalid_layout"
     http_status = 500
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for the engine's degradation/retry/breaker machinery.
+
+    Passing a config (or ``resilience=True``) to :class:`LayoutEngine`
+    turns the compute path into the degradation ladder
+    (:func:`repro.resilience.resilient_layout`): computations run under
+    a deadline derived from the request timeout, transient failures are
+    retried, and a failing or stalled pipeline falls back to cheaper
+    rungs instead of erroring — the response is then tagged with a
+    ``quality_tier`` below ``"full"``.  Only untainted full-tier results
+    are cached.
+
+    Attributes
+    ----------
+    deadline_fraction:
+        Share of the request's remaining time given to the compute
+        ladder; the rest is slack for queue hand-off and serialization.
+    retry:
+        Override for the ladder's transient-retry policy.
+    breaker_threshold / breaker_reset:
+        Consecutive non-full outcomes per (graph, algorithm) key that
+        trip its circuit breaker, and seconds before a half-open probe.
+    degrade_on_open:
+        When a breaker is open, serve an inline baseline layout tagged
+        ``quality_tier="baseline"`` (default) instead of failing fast
+        with :class:`Overloaded`.
+    """
+
+    deadline_fraction: float = 0.8
+    retry: RetryPolicy | None = None
+    breaker_threshold: int = 3
+    breaker_reset: float = 30.0
+    degrade_on_open: bool = True
+
+    @classmethod
+    def coerce(
+        cls, value: "ResilienceConfig | bool | None"
+    ) -> "ResilienceConfig | None":
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        return value
 
 
 #: Algorithm registry served by default.
@@ -185,7 +235,7 @@ class LayoutResponse:
     """Engine answer: the layout plus serving metadata."""
 
     fingerprint: str
-    status: str  # "memory-hit" | "disk-hit" | "computed" | "coalesced"
+    status: str  # "memory-hit" | "disk-hit" | "computed" | "coalesced" | "degraded"
     result: LayoutResult
     graph_name: str
     n: int
@@ -195,6 +245,11 @@ class LayoutResponse:
     @property
     def cache_hit(self) -> bool:
         return self.status.endswith("-hit")
+
+    @property
+    def quality_tier(self) -> str:
+        """Degradation tier of the served layout (``"full"`` normally)."""
+        return self.result.quality_tier
 
 
 class _Flight:
@@ -251,6 +306,12 @@ class LayoutEngine:
         Algorithm registry override (tests inject slow/counting stubs).
     telemetry:
         Metrics registry (default: a fresh one).
+    resilience:
+        ``None``/``False`` (default) keeps the classic fail-fast compute
+        path.  A :class:`ResilienceConfig` (or ``True``) routes
+        computations through the degradation ladder with per-request
+        deadlines, retries and per-(graph, algorithm) circuit breakers;
+        see :class:`ResilienceConfig`.
     validation:
         Invariant-checking policy (:mod:`repro.validate`): ``None`` /
         ``"off"`` (default), ``"warn"``, ``"strict"`` or a configured
@@ -272,6 +333,7 @@ class LayoutEngine:
         algorithms: Mapping[str, Callable[..., LayoutResult]] | None = None,
         telemetry: Telemetry | None = None,
         validation: ValidationPolicy | str | None = None,
+        resilience: "ResilienceConfig | bool | None" = None,
     ):
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
@@ -279,6 +341,15 @@ class LayoutEngine:
         self.timeout = timeout
         self.validation = ValidationPolicy.coerce(validation)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.resilience = ResilienceConfig.coerce(resilience)
+        self._draining = False
+        self._breakers: BreakerRegistry | None = None
+        if self.resilience is not None:
+            self._breakers = BreakerRegistry(
+                self.resilience.breaker_threshold,
+                self.resilience.breaker_reset,
+                on_transition=self._on_breaker_transition,
+            )
         self._algorithms = dict(
             algorithms if algorithms is not None else DEFAULT_ALGORITHMS
         )
@@ -294,6 +365,25 @@ class LayoutEngine:
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         self._pool.close()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting requests and wait for in-flight work to finish.
+
+        New :meth:`submit` calls fail with :class:`Overloaded` from the
+        moment this is called (the HTTP layer maps that to 503).
+        Returns ``True`` when every in-flight computation completed
+        within ``timeout`` seconds; ``False`` means work was abandoned
+        (the pool's daemon threads die with the process).
+        """
+        self._draining = True
+        end = time.monotonic() + max(0.0, timeout)
+        while self.inflight and time.monotonic() < end:
+            time.sleep(0.02)
+        return self.inflight == 0
 
     def __enter__(self) -> "LayoutEngine":
         return self
@@ -322,7 +412,19 @@ class LayoutEngine:
             "queue_depth": self._pool.queue_depth,
         }
         snap["inflight"] = self.inflight
+        snap["draining"] = self._draining
+        if self._breakers is not None:
+            snap["breakers"] = self._breakers.snapshot()
         return snap
+
+    # -- resilience plumbing -----------------------------------------------
+    def _on_breaker_transition(self, key: str, old: str, new: str) -> None:
+        # Fired under the breaker lock: telemetry only, no re-entry.
+        self.telemetry.inc(f"breaker.to_{new.replace('-', '_')}")
+        if new == OPEN:
+            self.telemetry.gauge("breakers_open").add(1)
+        elif old == OPEN:
+            self.telemetry.gauge("breakers_open").add(-1)
 
     # -- request path ------------------------------------------------------
     def submit(self, request: LayoutRequest) -> LayoutResponse:
@@ -331,6 +433,10 @@ class LayoutEngine:
         t0 = time.perf_counter()
         self.telemetry.inc("requests")
         try:
+            if self._draining:
+                raise Overloaded(
+                    "engine is draining; not accepting new requests"
+                )
             response = self._serve(request, t0)
         except ServiceError as exc:
             self.telemetry.inc(f"errors.{exc.code}")
@@ -448,7 +554,14 @@ class LayoutEngine:
         except (TypeError, ValueError):  # builtins / C callables
             return False
 
-    def _compute(self, algo_key: str, g: CSRGraph, kwargs: dict, enqueued: float):
+    def _compute(
+        self,
+        algo_key: str,
+        g: CSRGraph,
+        kwargs: dict,
+        enqueued: float,
+        deadline_at: float | None = None,
+    ):
         self.telemetry.observe("queue_wait_seconds", time.perf_counter() - enqueued)
         t0 = time.perf_counter()
         algo = self._algorithms[algo_key]
@@ -457,7 +570,12 @@ class LayoutEngine:
         if self.validation.enabled and self._accepts_validate(algo):
             kwargs["validate"] = self.validation
         try:
-            result = algo(g, s, **kwargs)
+            if self.resilience is not None:
+                result = self._compute_resilient(
+                    algo, g, s, kwargs, deadline_at
+                )
+            else:
+                result = algo(g, s, **kwargs)
         except InvariantViolation as exc:
             self.telemetry.inc("validation_failures")
             raise ValidationFailed(
@@ -468,6 +586,38 @@ class LayoutEngine:
             raise BadRequest(str(exc)) from exc
         self.telemetry.observe("compute_seconds", time.perf_counter() - t0)
         return result
+
+    def _compute_resilient(
+        self,
+        algo: Callable[..., LayoutResult],
+        g: CSRGraph,
+        s: int,
+        kwargs: dict,
+        deadline_at: float | None,
+    ) -> LayoutResult:
+        """Run the degradation ladder under the request's time budget."""
+        cfg = self.resilience
+        assert cfg is not None
+        seed = int(kwargs.pop("seed", 0))
+        dims = int(kwargs.pop("dims", 2))
+        deadline = None
+        if deadline_at is not None:
+            # What's left of the request deadline, minus response slack.
+            remaining = deadline_at - time.perf_counter()
+            deadline = Deadline(
+                max(0.05, remaining * cfg.deadline_fraction)
+            )
+        return resilient_layout(
+            g,
+            s,
+            algorithm=algo,
+            dims=dims,
+            seed=seed,
+            deadline=deadline,
+            retry=cfg.retry,
+            telemetry=self.telemetry,
+            **kwargs,
+        )
 
     def _serve(self, request: LayoutRequest, t0: float) -> LayoutResponse:
         g, digest, name, epoch = self._resolve_graph(request)
@@ -508,6 +658,27 @@ class LayoutEngine:
             return respond(result, f"{tier}-hit")
         self.telemetry.inc("cache_misses")
 
+        timeout = request.timeout if request.timeout is not None else self.timeout
+
+        # Circuit breaker: a (graph, algorithm) key that keeps failing is
+        # served a baseline inline (or refused) without burning a worker.
+        breaker_key = None
+        if self._breakers is not None:
+            breaker_key = f"{digest[:16]}@{epoch}:{request.algorithm}"
+            if not self._breakers.allow(breaker_key):
+                self.telemetry.inc("breaker.short_circuits")
+                if self.resilience is not None and self.resilience.degrade_on_open:
+                    self.telemetry.inc("resilience.degraded.baseline")
+                    result = baseline_layout(
+                        g, dims=int(kwargs.get("dims", 2)), seed=kwargs["seed"]
+                    )
+                    result.params["degraded_reason"] = "circuit_open"
+                    return respond(result, "degraded")
+                raise Overloaded(
+                    f"circuit breaker open for {request.algorithm!r} on this"
+                    " graph; retry later"
+                )
+
         # Single-flight: first thread in becomes the leader.
         with self._flights_lock:
             flight = self._flights.get(fingerprint)
@@ -518,8 +689,16 @@ class LayoutEngine:
 
         if leader:
             try:
+                deadline_at = (
+                    t0 + timeout if self.resilience is not None else None
+                )
                 future = self._pool.submit(
-                    self._compute, request.algorithm, g, kwargs, time.perf_counter()
+                    self._compute,
+                    request.algorithm,
+                    g,
+                    kwargs,
+                    time.perf_counter(),
+                    deadline_at,
                 )
             except PoolSaturated as exc:
                 with self._flights_lock:
@@ -533,12 +712,13 @@ class LayoutEngine:
                     " retry later"
                 ) from exc
             future.add_done_callback(
-                lambda fut: self._finish_flight(fingerprint, flight, fut)
+                lambda fut: self._finish_flight(
+                    fingerprint, flight, fut, breaker_key
+                )
             )
         else:
             self.telemetry.inc("coalesced")
 
-        timeout = request.timeout if request.timeout is not None else self.timeout
         remaining = timeout - (time.perf_counter() - t0)
         if remaining <= 0 or not flight.event.wait(remaining):
             self.telemetry.inc("timeouts")
@@ -554,15 +734,37 @@ class LayoutEngine:
         assert flight.result is not None
         return respond(flight.result, "computed" if leader else "coalesced")
 
-    def _finish_flight(self, fingerprint: str, flight: _Flight, future) -> None:
+    def _finish_flight(
+        self,
+        fingerprint: str,
+        flight: _Flight,
+        future,
+        breaker_key: str | None = None,
+    ) -> None:
         try:
             result = future.result()
         except BaseException as exc:  # noqa: BLE001 — reported to waiters
             self.telemetry.inc("compute_errors")
             flight.error = exc
+            if breaker_key is not None and self._breakers is not None:
+                self._breakers.record(breaker_key, False)
         else:
             flight.result = result
-            self.cache.put(fingerprint, result)
+            tier = result.quality_tier
+            if breaker_key is not None and self._breakers is not None:
+                # A degraded answer means the full pipeline did not work
+                # for this key: count it against the breaker so repeat
+                # offenders get short-circuited instead of re-walked.
+                self._breakers.record(breaker_key, tier == "full")
+            retried = (result.params.get("resilience") or {}).get("retries", 0)
+            if tier == "full" and not retried:
+                # Degraded results must never poison the fingerprint
+                # cache, and a retried "full" result carries an adapted
+                # seed/subspace in its params echo that would fail the
+                # cache-consistency check on a later hit.
+                self.cache.put(fingerprint, result)
+            else:
+                self.telemetry.inc("uncached_degraded")
         finally:
             with self._flights_lock:
                 self._flights.pop(fingerprint, None)

@@ -18,7 +18,9 @@ control).  Routes:
     every cached layout of the pre-update graph misses from then on.
     Answers with the new epoch and the effective edit counts.
 ``GET /healthz``
-    Liveness probe; always ``{"status": "ok"}`` while the server runs.
+    Liveness probe; ``{"status": "ok"}`` while serving, ``{"status":
+    "draining"}`` once graceful shutdown began (load balancers should
+    stop routing here).
 ``GET /stats``
     Telemetry + cache + pool snapshot as JSON, or as an aligned
     plain-text page with ``?format=text``.
@@ -118,7 +120,10 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         url = urlparse(self.path)
         if url.path == "/healthz":
-            self._send(200, {"status": "ok"})
+            if getattr(self.server, "draining", False):
+                self._send(503, {"status": "draining"})
+            else:
+                self._send(200, {"status": "ok"})
         elif url.path == "/stats":
             fmt = parse_qs(url.query).get("format", ["json"])[0]
             stats = self.engine.stats()
@@ -141,6 +146,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         url = urlparse(self.path)
+        if getattr(self.server, "draining", False):
+            self._send(
+                503,
+                {
+                    "error": "overloaded",
+                    "message": "server is draining; retry against another"
+                    " instance",
+                },
+            )
+            return
         if url.path == "/update":
             self._post_update()
             return
@@ -167,6 +182,7 @@ class _Handler(BaseHTTPRequestHandler):
             "n": response.n,
             "m": response.m,
             "algorithm": response.result.algorithm,
+            "quality_tier": response.quality_tier,
             "elapsed_seconds": response.elapsed,
         }
         if include_coords:
@@ -278,6 +294,7 @@ class LayoutServer:
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.engine = engine  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.draining = False  # type: ignore[attr-defined]
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
 
@@ -300,6 +317,23 @@ class LayoutServer:
 
     def serve_forever(self) -> None:
         self._httpd.serve_forever()
+
+    @property
+    def draining(self) -> bool:
+        return bool(getattr(self._httpd, "draining", False))
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful shutdown, phase one: refuse new work, finish old.
+
+        New ``POST`` requests get an immediate 503 and ``/healthz``
+        flips to ``draining`` (handled connections keep being accepted
+        so those answers can be sent); the engine then waits up to
+        ``timeout`` seconds for in-flight computations.  Returns the
+        engine's verdict (``True`` = drained clean).  Call
+        :meth:`shutdown` afterwards to stop the accept loop.
+        """
+        self._httpd.draining = True  # type: ignore[attr-defined]
+        return self.engine.drain(timeout)
 
     def shutdown(self) -> None:
         self._httpd.shutdown()

@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict, deque
 
-__all__ = ["Counter", "Histogram", "Telemetry"]
+__all__ = ["Counter", "Gauge", "Histogram", "Telemetry"]
 
 
 class Counter:
@@ -36,6 +36,28 @@ class Counter:
 
     @property
     def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A named value that can go up and down (open breakers, in-flight)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += float(amount)
+
+    @property
+    def value(self) -> float:
         with self._lock:
             return self._value
 
@@ -115,6 +137,7 @@ class Telemetry:
         self._lock = threading.Lock()
         self._counters: OrderedDict[str, Counter] = OrderedDict()
         self._histograms: OrderedDict[str, Histogram] = OrderedDict()
+        self._gauges: OrderedDict[str, Gauge] = OrderedDict()
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -122,6 +145,13 @@ class Telemetry:
             if c is None:
                 c = self._counters[name] = Counter(name)
             return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            return g
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
@@ -136,15 +166,22 @@ class Telemetry:
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
     def snapshot(self) -> dict:
         """Nested dict of every metric — the ``GET /stats`` payload."""
         with self._lock:
             counters = list(self._counters.values())
             histograms = list(self._histograms.values())
-        return {
+            gauges = list(self._gauges.values())
+        snap = {
             "counters": {c.name: c.value for c in counters},
             "histograms": {h.name: h.summary() for h in histograms},
         }
+        if gauges:
+            snap["gauges"] = {g.name: g.value for g in gauges}
+        return snap
 
     def render_text(self, extra: dict | None = None) -> str:
         """Aligned plain-text stats page (``GET /stats?format=text``)."""

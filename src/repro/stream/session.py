@@ -48,8 +48,12 @@ streamed update and a from-scratch run are apples-to-apples.
 
 from __future__ import annotations
 
+import logging
+import os
+import tempfile
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -78,6 +82,8 @@ from .incremental import repair_distances
 from .overlay import DynamicGraph
 
 __all__ = ["StreamPolicy", "StreamSession", "StreamUpdate", "bfs_work_units"]
+
+logger = logging.getLogger("repro.stream.session")
 
 
 @dataclass(frozen=True)
@@ -168,6 +174,14 @@ class StreamSession:
         and layout state back before propagating.  Deep (strict-level)
         checks re-traverse from the pivots after every repair — exact
         but expensive; use ``warn`` for production streams.
+    autosave:
+        Optional archive path.  The current frame is written there
+        atomically (temp file + rename, the ``save_layout`` format)
+        after the initial layout and after every successful update, so
+        a killed process resumes via :meth:`resume` from the last
+        completed frame instead of replaying the stream.  Save failures
+        are logged and absorbed — persistence must not kill the stream
+        it protects.
     """
 
     def __init__(
@@ -183,6 +197,7 @@ class StreamSession:
         drop_tol: float = 1e-3,
         layout: LayoutResult | None = None,
         validation: ValidationPolicy | str | None = None,
+        autosave: str | os.PathLike | None = None,
     ):
         self.policy = policy if policy is not None else StreamPolicy()
         self.validation = ValidationPolicy.coerce(validation)
@@ -227,6 +242,8 @@ class StreamSession:
                 i for i in range(self.B.shape[1]) if i not in dropped
             ]
         self._Y: np.ndarray | None = None
+        self.autosave_path = Path(autosave) if autosave is not None else None
+        self._autosave()
 
     @classmethod
     def from_layout(cls, g: CSRGraph, path, **kwargs) -> "StreamSession":
@@ -240,6 +257,28 @@ class StreamSession:
 
         result = load_layout(path)
         return cls(g, layout=result, **kwargs)
+
+    @classmethod
+    def resume(cls, g: CSRGraph, path, **kwargs) -> "StreamSession":
+        """Resume from an autosave archive, or start fresh without one.
+
+        The crash-recovery entry point: pass the same ``path`` the
+        killed session autosaved to.  A missing or unreadable archive
+        (including one corrupted mid-crash) falls back to a fresh
+        session that autosaves to the same path; a readable one restores
+        the frame, subspace and stream epoch of the last completed
+        update.  ``g`` must be the graph as of that update.
+        """
+        p = Path(path)
+        if p.exists():
+            try:
+                return cls.from_layout(g, p, autosave=p, **kwargs)
+            except (OSError, ValueError, KeyError) as exc:
+                logger.warning(
+                    "cannot resume stream session from %s (%s);"
+                    " starting fresh", p, exc,
+                )
+        return cls(g, autosave=p, **kwargs)
 
     def _adopt(self, g: CSRGraph, layout: LayoutResult) -> None:
         B = np.asarray(layout.B, dtype=np.float64)
@@ -269,6 +308,7 @@ class StreamSession:
             if key in layout.params:
                 setattr(self, key, layout.params[key])
         self.dims = int(self.dims)
+        self.epoch = int(layout.params.get("stream_epoch", 0))
 
     # -- public API --------------------------------------------------------
     @property
@@ -312,7 +352,32 @@ class StreamSession:
         out.applied_edits = applied.size
         out.skipped_edits = applied.skipped
         out.compacted = self.dyn.maybe_compact() or out.compacted
+        self._autosave()
         return out
+
+    def _autosave(self) -> bool:
+        """Atomically persist the current frame; ``True`` on success."""
+        path = self.autosave_path
+        if path is None:
+            return False
+        from ..core.serialize import save_layout
+
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            os.close(fd)
+            try:
+                save_layout(self.snapshot_result(), tmp)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except Exception as exc:  # noqa: BLE001 — autosave is best-effort
+            logger.warning("stream autosave to %s failed: %s", path, exc)
+            return False
+        return True
 
     def snapshot_result(self) -> LayoutResult:
         """The current frame as a :class:`LayoutResult` (serializable)."""
