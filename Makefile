@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke examples results clean
+.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,13 @@ check-smoke:
 # breaker short-circuit), never an unhandled error.
 chaos-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/chaos_smoke.py
+
+# Sharded-serving acceptance: boot `parhde serve --workers 2`, run a
+# concurrent layout+update workload, SIGKILL one worker mid-stream, and
+# require 100% request availability (reshard + retry on the survivor)
+# plus an automatic restart that returns the cluster to full strength.
+cluster-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/cluster_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

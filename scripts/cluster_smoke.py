@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Smoke test for the sharded serving tier (``make cluster-smoke``).
+
+Boots the real CLI — ``parhde serve --workers 2`` — as a subprocess,
+then proves the cluster's availability contract end to end:
+
+1. ``GET /healthz`` reports 2 live workers;
+2. concurrent clients issue a mixed layout + update workload over HTTP;
+3. mid-workload, one worker **process is SIGKILLed** (pid taken from
+   ``GET /stats``) while the clients keep going;
+4. every single request must still succeed — the router reshards the
+   dead worker's graphs onto the survivor and retries transparently, so
+   availability through the crash is 100%;
+5. the monitor restarts the dead worker: ``/healthz`` returns to 2
+   workers and ``/stats`` shows the death and the restart;
+6. SIGTERM then drains the whole cluster gracefully (exit code 0).
+
+Exits nonzero with a diagnostic on any violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+WORKERS = 2
+CLIENTS = 3
+REQUESTS_PER_CLIENT = 12
+KILL_AFTER = 6  # requests per client before the kill fires
+GRAPHS = ("barth", "pa", "ecology")
+
+
+def _post(url: str, body: dict, route: str) -> dict:
+    req = urllib.request.Request(
+        url + route,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+def _get(url: str, route: str) -> dict:
+    with urllib.request.urlopen(url + route, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _boot() -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--workers",
+            str(WORKERS),
+            "--threads",
+            "1",
+            "--port",
+            "0",
+            "--cache-mb",
+            "32",
+            "--timeout",
+            "120",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 120
+    for line in proc.stderr:  # type: ignore[union-attr]
+        sys.stderr.write(f"  serve: {line}")
+        if "listening on http://" in line:
+            url = line.split("listening on ")[1].split(" ")[0].strip()
+            # Keep draining stderr so the server never blocks on a full
+            # pipe; echo it for post-mortem debugging.
+            threading.Thread(
+                target=lambda: [
+                    sys.stderr.write(f"  serve: {ln}") for ln in proc.stderr
+                ],
+                daemon=True,
+            ).start()
+            return proc, url
+        if time.monotonic() > deadline or proc.poll() is not None:
+            break
+    raise RuntimeError("parhde serve did not report a listening address")
+
+
+def main() -> int:
+    proc, url = _boot()
+    failures: list[str] = []
+    outcomes: list[tuple[str, bool, str]] = []
+    lock = threading.Lock()
+    kill_gate = threading.Barrier(CLIENTS + 1)
+
+    def _client(cid: int) -> None:
+        for i in range(REQUESTS_PER_CLIENT):
+            if i == KILL_AFTER:
+                kill_gate.wait(timeout=120)  # line up with the killer
+            graph = GRAPHS[(cid + i) % len(GRAPHS)]
+            try:
+                if i % 4 == 3:
+                    body = {
+                        "graph": graph,
+                        "scale": "tiny",
+                        "seed": 0,
+                        "inserts": [[0, 3 + cid + i]],
+                    }
+                    resp = _post(url, body, "/update")
+                    ok = "epoch" in resp
+                else:
+                    body = {
+                        "graph": graph,
+                        "scale": "tiny",
+                        "s": 6,
+                        # A few unique seeds keep cold misses in the mix.
+                        "seed": cid if i % 2 else 0,
+                        "include_coords": False,
+                    }
+                    resp = _post(url, body, "/layout")
+                    ok = "fingerprint" in resp
+                note = resp.get("status", "update")
+            except Exception as exc:  # noqa: BLE001 — tallied below
+                ok, note = False, f"{type(exc).__name__}: {exc}"
+            with lock:
+                outcomes.append((f"c{cid}r{i}", ok, note))
+
+    try:
+        health = _get(url, "/healthz")
+        if health != {"status": "ok", "workers": WORKERS}:
+            failures.append(f"healthz answered {health}")
+
+        # Warm one layout so the kill interrupts a live, serving cluster.
+        _post(
+            url,
+            {"graph": "barth", "scale": "tiny", "s": 6,
+             "include_coords": False},
+            "/layout",
+        )
+
+        stats = _get(url, "/stats")
+        victim_pid = None
+        victim_id = None
+        for wid, snap in stats["workers"].items():
+            if snap.get("state") == "up":
+                victim_pid, victim_id = int(snap["pid"]), wid
+                break
+        if victim_pid is None:
+            failures.append("no live worker found in /stats")
+            raise RuntimeError("cannot continue without a victim worker")
+
+        clients = [
+            threading.Thread(target=_client, args=(cid,))
+            for cid in range(CLIENTS)
+        ]
+        for t in clients:
+            t.start()
+        # Wait until every client is mid-workload, then murder a worker.
+        kill_gate.wait(timeout=120)
+        os.kill(victim_pid, signal.SIGKILL)
+        print(f"cluster-smoke: killed worker {victim_id} (pid {victim_pid})")
+        for t in clients:
+            t.join(timeout=300)
+
+        failed = [o for o in outcomes if not o[1]]
+        total = CLIENTS * REQUESTS_PER_CLIENT
+        if len(outcomes) != total:
+            failures.append(
+                f"only {len(outcomes)}/{total} requests completed"
+            )
+        for name, _ok, note in failed:
+            failures.append(f"request {name} failed: {note}")
+        availability = (
+            100.0 * (len(outcomes) - len(failed)) / max(len(outcomes), 1)
+        )
+
+        # The monitor must restart the dead worker and re-add its shard.
+        deadline = time.monotonic() + 60
+        workers_back = False
+        while time.monotonic() < deadline:
+            if _get(url, "/healthz") == {"status": "ok", "workers": WORKERS}:
+                workers_back = True
+                break
+            time.sleep(0.5)
+        if not workers_back:
+            failures.append("cluster never returned to full worker count")
+
+        stats = _get(url, "/stats")
+        counters = stats["router"]["counters"]
+        if counters.get("router.worker_deaths", 0) < 1:
+            failures.append("stats recorded no worker death")
+        if counters.get("router.restarts", 0) < 1:
+            failures.append("stats recorded no worker restart")
+        generation = stats["workers"].get(victim_id, {}).get("generation", 0)
+        if workers_back and generation < 1:
+            failures.append(
+                f"restarted worker {victim_id} still at generation"
+                f" {generation}"
+            )
+
+        print(
+            f"cluster-smoke: {len(outcomes)} requests,"
+            f" availability {availability:.1f}% through worker kill,"
+            f" deaths={counters.get('router.worker_deaths', 0)}"
+            f" restarts={counters.get('router.restarts', 0)}"
+            f" retries={counters.get('router.retries', 0)}"
+            f" coalesced={counters.get('router.coalesced', 0)}"
+        )
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=60)
+            if code != 0:
+                failures.append(f"serve exited {code} after SIGTERM")
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            failures.append("serve did not drain within 60s of SIGTERM")
+
+    for failure in failures:
+        print(f"cluster-smoke: FAIL — {failure}", file=sys.stderr)
+    if not failures:
+        print("cluster-smoke: ok — 100% availability through a worker crash")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,7 +51,7 @@ def main() -> int:
     failures: list[str] = []
     try:
         health = json.loads(_get(url, "/healthz"))
-        if health != {"status": "ok"}:
+        if health != {"status": "ok", "workers": 1}:
             failures.append(f"healthz answered {health}")
 
         cold = _post(url, GRAPH)

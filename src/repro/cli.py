@@ -24,7 +24,10 @@ Subcommands
 ``serve``
     Long-running layout server: content-addressed caching, request
     coalescing, admission control, and a JSON HTTP endpoint
-    (see :mod:`repro.service`).
+    (see :mod:`repro.service`).  ``--workers N`` shards the engine over
+    N spawned worker processes behind a consistent-hash router
+    (:mod:`repro.cluster`); ``--workers 0`` (the default) keeps the
+    single-process path.
 ``stream``
     Replay an edge-event file through a dynamic layout session
     (:mod:`repro.stream`), printing per-update mode, drift, modeled BFS
@@ -196,8 +199,21 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080,
                          help="TCP port (0 = ephemeral)")
-    p_serve.add_argument("--workers", type=int, default=2,
-                         help="concurrent layout computations")
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker *processes* behind a consistent-hash router"
+        " (0 = single-process, engine in this process; see"
+        " docs/cluster.md)",
+    )
+    p_serve.add_argument(
+        "--threads",
+        type=int,
+        default=2,
+        help="concurrent layout computations per engine (each worker"
+        " process gets its own pool of this size)",
+    )
     p_serve.add_argument("--queue-depth", type=int, default=8,
                          help="queued computations before 503 Overloaded")
     p_serve.add_argument("--timeout", type=float, default=60.0,
@@ -539,26 +555,57 @@ def _serve(args) -> int:
     import signal
     import threading
 
-    from .service import LayoutCache, LayoutEngine, make_server
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 2
 
-    cache = LayoutCache(
-        max_bytes=int(args.cache_mb * 1024 * 1024),
-        disk_dir=args.cache_dir,
-    )
-    engine = LayoutEngine(
-        cache=cache,
-        workers=args.workers,
-        queue_limit=args.queue_depth,
-        timeout=args.timeout,
-        resilience=True if args.resilience else None,
-    )
-    server = make_server(
-        engine, host=args.host, port=args.port, verbose=args.verbose
-    )
+    cache = None
+    engine = None
+    router = None
+    if args.workers == 0:
+        from .service import LayoutCache, LayoutEngine, make_server
+
+        cache = LayoutCache(
+            max_bytes=int(args.cache_mb * 1024 * 1024),
+            disk_dir=args.cache_dir,
+        )
+        engine = LayoutEngine(
+            cache=cache,
+            workers=args.threads,
+            queue_limit=args.queue_depth,
+            timeout=args.timeout,
+            resilience=True if args.resilience else None,
+        )
+        server = make_server(
+            engine, host=args.host, port=args.port, verbose=args.verbose
+        )
+        mode = f"single-process, threads={args.threads}"
+    else:
+        from .cluster import ClusterRouter, make_cluster_server
+
+        router = ClusterRouter(
+            args.workers,
+            compute_threads=args.threads,
+            queue_limit=args.queue_depth,
+            timeout=args.timeout,
+            cache_mb=args.cache_mb,
+            cache_dir=args.cache_dir,
+            resilience=args.resilience,
+        )
+        print(
+            f"parhde serve: spawning {args.workers} worker"
+            f" process{'es' if args.workers != 1 else ''}...",
+            file=sys.stderr,
+        )
+        router.start()
+        server = make_cluster_server(
+            router, host=args.host, port=args.port, verbose=args.verbose
+        )
+        mode = f"{args.workers} worker processes, threads={args.threads}/worker"
     host, port = server.address
     print(
         f"parhde serve: listening on http://{host}:{port}"
-        f" (workers={args.workers}, queue={args.queue_depth},"
+        f" ({mode}, queue={args.queue_depth},"
         f" cache={args.cache_mb:g} MiB"
         + (f", disk={args.cache_dir}" if args.cache_dir else "")
         + (", resilience=on" if args.resilience else "")
@@ -589,16 +636,20 @@ def _serve(args) -> int:
     except KeyboardInterrupt:
         pass
     # Graceful shutdown: flip to draining (new POSTs get 503, /healthz
-    # reports "draining"), wait out in-flight work, persist the cache,
-    # then stop the accept loop.
+    # reports "draining"), wait out in-flight work, persist caches,
+    # then stop the accept loop.  In cluster mode the drain fans out to
+    # every worker engine and close() tears the processes down.
     print("draining: refusing new work", file=sys.stderr)
     clean = server.drain(args.drain_timeout)
-    flushed = cache.flush()
+    flushed = cache.flush() if cache is not None else None
     server.shutdown()
-    engine.close()
+    if engine is not None:
+        engine.close()
+    if router is not None:
+        router.close()
     print(
         f"shutdown: drained={'clean' if clean else 'timed out'}"
-        f" cache_flushed={flushed}",
+        + (f" cache_flushed={flushed}" if flushed is not None else ""),
         file=sys.stderr,
     )
     return 0

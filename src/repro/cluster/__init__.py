@@ -1,0 +1,56 @@
+"""Multi-process sharded serving tier (``parhde serve --workers N``).
+
+Everything below :mod:`repro.service` runs in one Python process, so
+real request throughput is GIL-bound no matter how many threads the
+engine's pool holds.  This package is the horizontal layer above it:
+
+* :mod:`~repro.cluster.protocol` — length-prefixed JSON frames over
+  loopback sockets (inspectable, restart-safe, no pickle);
+* :mod:`~repro.cluster.ring` — a consistent-hash ring mapping graph
+  identities to worker shards: updates and layouts for one graph share
+  a shard (epoch invalidation stays correct) and worker death moves
+  only the dead shard's keys;
+* :mod:`~repro.cluster.worker` — spawned worker processes, each a full
+  shared-nothing :class:`~repro.service.engine.LayoutEngine` +
+  :class:`~repro.service.cache.LayoutCache` behind the socket protocol;
+* :mod:`~repro.cluster.router` — the frontend brain: cluster-wide
+  coalescing of identical in-flight requests, heartbeat health checks
+  feeding :class:`~repro.resilience.breaker.BreakerRegistry` circuit
+  breakers, automatic worker restart with live resharding (in-flight
+  requests retry on the ring successor), aggregated ``/stats``, and
+  whole-cluster graceful drain fanning out the per-engine drain;
+* :mod:`~repro.cluster.frontend` — the HTTP face, wire-compatible with
+  the in-process endpoint;
+* :mod:`~repro.cluster.policy` — analytic routing-policy comparison
+  (consistent-hash vs size-balanced) priced by the machine model's new
+  distributed dimension (:func:`repro.parallel.machine.shard_times`).
+
+See ``docs/cluster.md`` for the architecture diagram, ring semantics,
+failure modes and tuning guidance.
+"""
+
+from .frontend import ClusterServer, make_cluster_server
+from .policy import balanced_assignment, compare_policies, hash_assignment
+from .protocol import MAX_FRAME, ProtocolError, recv_msg, send_msg
+from .ring import HashRing, graph_key
+from .router import ClusterRouter, RemoteError, WorkerUnavailable
+from .worker import WorkerConfig, worker_main
+
+__all__ = [
+    "MAX_FRAME",
+    "ClusterRouter",
+    "ClusterServer",
+    "HashRing",
+    "ProtocolError",
+    "RemoteError",
+    "WorkerConfig",
+    "WorkerUnavailable",
+    "balanced_assignment",
+    "compare_policies",
+    "graph_key",
+    "hash_assignment",
+    "make_cluster_server",
+    "recv_msg",
+    "send_msg",
+    "worker_main",
+]

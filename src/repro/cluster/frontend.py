@@ -1,0 +1,223 @@
+"""HTTP frontend for the cluster router (``parhde serve --workers N``).
+
+Same wire contract as the in-process endpoint
+(:mod:`repro.service.http`): ``POST /layout``, ``POST /update``,
+``GET /healthz``, ``GET /stats`` — clients and probes cannot tell which
+mode they are talking to, except that ``/stats`` answers the aggregated
+cluster shape (``router`` / ``ring`` / ``workers`` / ``aggregate``
+sections) and ``/healthz`` reports the live worker count.
+
+The handler threads block inside :class:`~repro.cluster.router
+.ClusterRouter` — coalescing, sharding and retry all happen there; this
+module only translates HTTP bodies to router calls and structured
+errors to status codes, reusing the service layer's body-size limits
+and error discipline (internal errors return an opaque id and bump the
+``http.internal_errors`` counter on the router's telemetry).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..service.engine import BadRequest, ServiceError
+from .router import ClusterRouter
+
+__all__ = ["ClusterServer", "make_cluster_server"]
+
+_MAX_BODY = 8 * 1024 * 1024
+
+logger = logging.getLogger("repro.cluster.frontend")
+
+
+class _ClusterHandler(BaseHTTPRequestHandler):
+    server_version = "parhde-cluster/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def router(self) -> ClusterRouter:
+        return self.server.router  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload, *, text: bool = False) -> None:
+        body = payload.encode() if text else json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header(
+            "Content-Type",
+            "text/plain; charset=utf-8" if text else "application/json",
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: ServiceError) -> None:
+        if type(exc) is ServiceError:
+            self._send_internal(exc)
+            return
+        self._send(
+            exc.http_status, {"error": exc.code, "message": str(exc)}
+        )
+
+    def _send_internal(self, exc: BaseException) -> None:
+        error_id = uuid.uuid4().hex[:12]
+        logger.exception(
+            "internal error %s handling %s %s: %s",
+            error_id, self.command, self.path, exc,
+        )
+        self.router.telemetry.inc("http.internal_errors")
+        self._send(
+            500,
+            {
+                "error": "internal",
+                "message": f"internal server error (id {error_id})",
+                "error_id": error_id,
+            },
+        )
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequest("missing request body")
+        if length > _MAX_BODY:
+            raise BadRequest(f"request body exceeds {_MAX_BODY} bytes")
+        try:
+            doc = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise BadRequest("request body must be a JSON object")
+        return doc
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            health = self.router.healthz()
+            self._send(200 if health["status"] == "ok" else 503, health)
+        elif url.path == "/stats":
+            fmt = parse_qs(url.query).get("format", ["json"])[0]
+            try:
+                stats = self.router.stats()
+            except Exception as exc:  # noqa: BLE001 — last-resort 500
+                self._send_internal(exc)
+                return
+            if fmt == "text":
+                extra = {
+                    "ring": stats["ring"],
+                    "aggregate counters": stats["aggregate"]["counters"],
+                    "aggregate cache": stats["aggregate"]["cache"],
+                }
+                self._send(
+                    200,
+                    self.router.telemetry.render_text(extra) + "\n",
+                    text=True,
+                )
+            else:
+                self._send(200, stats)
+        else:
+            self._send(
+                404, {"error": "not_found", "message": f"no route {url.path}"}
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        url = urlparse(self.path)
+        if url.path not in ("/layout", "/update"):
+            self._send(
+                404, {"error": "not_found", "message": f"no route {url.path}"}
+            )
+            return
+        try:
+            doc = self._read_body()
+            if url.path == "/layout":
+                payload = self.router.layout(doc)
+            else:
+                payload = self.router.update(doc)
+        except ServiceError as exc:
+            self._send_error(exc)
+            return
+        except (TypeError, ValueError) as exc:
+            self._send(400, {"error": "bad_request", "message": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            self._send_internal(exc)
+            return
+        self._send(200, payload)
+
+
+class ClusterServer:
+    """A :class:`ThreadingHTTPServer` bound to a cluster router.
+
+    Mirrors :class:`~repro.service.http.LayoutServer`'s lifecycle
+    (``start`` / ``serve_forever`` / ``drain`` / ``shutdown``) so the
+    CLI and smoke harnesses treat both modes uniformly.
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        verbose: bool = False,
+    ):
+        self.router = router
+        self._httpd = ThreadingHTTPServer((host, port), _ClusterHandler)
+        self._httpd.router = router  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ClusterServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="parhde-cluster-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Cluster-wide graceful drain (see :meth:`ClusterRouter.drain`)."""
+        return self.router.drain(timeout)
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ClusterServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def make_cluster_server(
+    router: ClusterRouter,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+) -> ClusterServer:
+    """Bind (but do not start) a :class:`ClusterServer`."""
+    return ClusterServer(router, host, port, verbose=verbose)

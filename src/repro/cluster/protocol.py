@@ -1,0 +1,79 @@
+"""Length-prefixed JSON framing for router <-> worker sockets.
+
+The cluster tier speaks the simplest wire protocol that can carry the
+serving API faithfully: each message is a 4-byte big-endian length
+followed by that many bytes of UTF-8 JSON.  JSON (rather than pickle)
+keeps workers safe to restart across versions and makes the frames
+inspectable with ``tcpdump``; the length prefix makes message boundaries
+explicit so one connection can carry many sequential requests.
+
+Requests are envelopes ``{"op": <name>, ...}``; responses are
+``{"ok": true, ...payload}`` or ``{"ok": false, "error": <code>,
+"message": <detail>, "status": <http status>}`` — the same structured
+error contract the HTTP layer speaks, so the router can relay worker
+errors to clients without translation.
+
+A peer that closes mid-frame raises :class:`ProtocolError` (a
+``ConnectionError`` subclass), which the router treats exactly like a
+dead worker: mark it down, reshard, retry on the successor.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+__all__ = ["MAX_FRAME", "ProtocolError", "recv_msg", "send_msg"]
+
+#: Upper bound on one frame.  Coordinate payloads for the collection's
+#: largest served graphs are a few MB; 64 MB leaves generous headroom
+#: while still catching a corrupt/hostile length prefix immediately.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+
+class ProtocolError(ConnectionError):
+    """Framing violation: truncated frame, oversized length, bad JSON."""
+
+
+def send_msg(sock: socket.socket, obj: dict) -> None:
+    """Serialize ``obj`` and write one length-prefixed frame."""
+    body = json.dumps(obj, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> dict:
+    """Read one frame and deserialize it (blocking)."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (> MAX_FRAME {MAX_FRAME})"
+        )
+    body = _recv_exact(sock, length)
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return doc

@@ -1,0 +1,118 @@
+"""Consistent-hash ring mapping graph keys to worker shards.
+
+The router must send every request about one graph to the same worker:
+the worker holds that graph's mutable state (the delta overlay and its
+epoch), so ``POST /update`` and subsequent ``POST /layout`` requests
+only stay coherent if they share a shard.  A consistent-hash ring gives
+that affinity *and* minimal movement — when a worker dies, only the keys
+it owned move (to their ring successors); every other graph keeps its
+shard, its warm cache and its epoch state.
+
+Each node is planted at ``vnodes`` pseudo-random points (sha256 of
+``"node#i"``), which smooths the load imbalance a handful of physical
+nodes would otherwise suffer.  Lookup is a binary search over the sorted
+point list; mutation rebuilds the list (node churn is rare — worker
+death — while lookups are per-request).
+
+Keys are *graph identities*: :func:`graph_key` digests the
+``(name, scale, seed)`` triple that determines a named graph's content
+digest.  Hashing the identity rather than the CSR bytes means the
+router never has to load a graph to route it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterator
+
+__all__ = ["HashRing", "graph_key"]
+
+
+def graph_key(name: str, scale: str = "small", seed: int = 0) -> str:
+    """Stable routing key for a named graph.
+
+    Every request that addresses the same collection graph — layouts
+    with any algorithm/params, and the updates that mutate it — maps to
+    the same key, so they all land on the owning shard.
+    """
+    return f"{name}\x1f{scale}\x1f{int(seed)}"
+
+
+def _point(label: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over hashable node ids (not thread-safe).
+
+    The router guards its ring with its own lock; the ring itself stays
+    a plain data structure so it can also serve the analytic policy
+    comparison in :mod:`repro.cluster.policy`.
+    """
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set = set()
+        self._points: list[int] = []
+        self._owners: list = []
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> set:
+        return set(self._nodes)
+
+    def _rebuild(self) -> None:
+        pairs = sorted(
+            (_point(f"{node}#{i}"), node)
+            for node in self._nodes
+            for i in range(self.vnodes)
+        )
+        self._points = [p for p, _ in pairs]
+        self._owners = [n for _, n in pairs]
+
+    def add(self, node) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._rebuild()
+
+    def owner(self, key: str):
+        """The node owning ``key`` (the first point at or after its hash)."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        i = bisect.bisect_left(self._points, _point(key)) % len(self._points)
+        return self._owners[i]
+
+    def preference(self, key: str) -> Iterator:
+        """Distinct nodes in ring order starting at ``key``'s owner.
+
+        The retry order for a request: the owner first, then each
+        successor shard exactly once.  Consuming this after removing a
+        dead node from the ring yields the live successor next.
+        """
+        if not self._points:
+            return
+        start = bisect.bisect_left(self._points, _point(key))
+        seen = set()
+        n = len(self._points)
+        for step in range(n):
+            node = self._owners[(start + step) % n]
+            if node not in seen:
+                seen.add(node)
+                yield node

@@ -13,6 +13,7 @@ from .machine import (
     LAPTOP,
     MachineSpec,
     phase_times,
+    shard_times,
     simulate_ledger,
     subphase_times,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "LAPTOP",
     "simulate_ledger",
     "phase_times",
+    "shard_times",
     "subphase_times",
     "ParallelExecutor",
     "PoolSaturated",

@@ -40,6 +40,17 @@ term.  For a kernel cost ``c`` executed on ``p`` threads of machine ``M``:
     Fork-join barrier cost per parallel region.  Constant in problem
     size, grows with ``p`` — the Amdahl term that caps the scaling of
     level-synchronous BFS on high-diameter graphs (road_usa: 7.1x).
+
+Distributed-memory dimension (the :mod:`repro.cluster` serving tier):
+the spec additionally carries the classic α-β communication-cost terms
+of the Buluç/Madduri distributed-memory BFS analyses — ``alpha``
+(per-message latency), ``beta`` (per-byte inverse bandwidth) and
+``shards`` (worker-process count, the 1D partition width).  A routed
+request costs ``alpha + nbytes * beta`` per message on top of its
+compute time; :func:`shard_times` turns a per-shard request assignment
+into per-shard seconds so routing policies (consistent-hash vs
+size-balanced) can be compared analytically before being measured —
+see :mod:`repro.cluster.policy`.
     NOTE on calibration: the reproduction's graphs are ~10^3-10^4 times
     smaller than the paper's, so the barrier constant is scaled down by a
     comparable factor.  The dimensionless quantity that shapes the
@@ -54,7 +65,7 @@ charged at ``p = 1`` with no sync overhead.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from .costs import KernelCost, Ledger, PhaseTotals
 
@@ -65,6 +76,7 @@ __all__ = [
     "LAPTOP",
     "simulate_ledger",
     "phase_times",
+    "shard_times",
     "subphase_times",
 ]
 
@@ -111,6 +123,18 @@ class MachineSpec:
         ``stream_bw_peak`` (pure reads avoid write-allocate, so > 1).
     region_overhead:
         Base cost of one fork-join region (OpenMP barrier), seconds.
+    alpha:
+        Distributed dimension: per-message latency, seconds.  For the
+        serving cluster this is one framed-JSON round-trip's fixed cost
+        over a loopback socket (syscalls, framing, JSON decode) — the
+        "α" of the α-β model in the Buluç/Madduri BFS cost analyses.
+    beta:
+        Distributed dimension: seconds per payload byte ("β", inverse
+        bandwidth).  Calibrated well below raw loopback bandwidth
+        because cluster payloads are JSON-encoded coordinates.
+    shards:
+        Distributed dimension: worker-process count this spec models
+        (the 1D partition width).  Policy helpers default to it.
     """
 
     name: str
@@ -124,6 +148,9 @@ class MachineSpec:
     mlp: float
     random_bw_factor: float
     region_overhead: float
+    alpha: float = 1.5e-4
+    beta: float = 2.0e-9
+    shards: int = 1
 
     def clamp(self, p: int) -> int:
         if p < 1:
@@ -154,6 +181,16 @@ class MachineSpec:
     def time_totals(self, totals: PhaseTotals, p: int) -> float:
         """Simulated seconds for a parallel+sequential cost pair."""
         return self.time(totals.parallel, p) + self.time(totals.sequential, 1)
+
+    def message_time(self, nbytes: float) -> float:
+        """α-β cost of moving one ``nbytes`` message between processes."""
+        return self.alpha + float(nbytes) * self.beta
+
+    def with_shards(self, shards: int) -> "MachineSpec":
+        """This spec re-dimensioned to ``shards`` worker processes."""
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        return replace(self, shards=shards)
 
 
 # Pittsburgh Supercomputing Center "Bridges" regular shared-memory node:
@@ -231,3 +268,64 @@ def subphase_times(
         sub: machine.time_totals(tot, p)
         for sub, tot in ledger.subphase_totals(phase).items()
     }
+
+
+#: Default modeled message sizes for one routed serving request: a small
+#: JSON request in, a coordinate payload (~n×d float literals) out.
+REQUEST_BYTES = 512.0
+REPLY_BYTES = 64.0 * 1024.0
+
+
+def shard_times(
+    assignment,
+    machine: MachineSpec,
+    p: int,
+    *,
+    request_bytes: float = REQUEST_BYTES,
+    reply_bytes: float = REPLY_BYTES,
+) -> dict:
+    """Per-shard simulated seconds for a routed request workload.
+
+    The :func:`phase_times` analogue for the distributed dimension:
+    where ``phase_times`` splits one run's ledger across pipeline
+    phases, ``shard_times`` splits a *request stream* across worker
+    shards and prices each shard's queue — compute (each request's cost
+    ledger on ``p`` threads of ``machine``) plus communication (two α-β
+    messages per request: the routed request in, the coordinate payload
+    back).  The slowest shard is the cluster's makespan, so comparing
+    ``max(shard_times(...).values())`` across assignments is the
+    analytic policy comparison (consistent-hash vs size-balanced) —
+    exactly the 1D-partition communication accounting of the
+    Buluç/Madduri distributed-memory BFS analyses, with requests in
+    place of frontier chunks.
+
+    Parameters
+    ----------
+    assignment:
+        ``{shard: [cost, ...]}`` where each cost is a
+        :class:`~repro.parallel.costs.Ledger`, a
+        :class:`~repro.parallel.costs.PhaseTotals`, a plain number of
+        already-priced compute seconds (e.g. measured service times),
+        or a ``(cost, reply_nbytes)`` pair for per-request payload
+        sizes.
+    machine:
+        Spec whose ``alpha``/``beta`` carry the communication terms.
+    p:
+        Threads per shard (each worker's in-process pool).
+    """
+    out = {}
+    for shard, items in assignment.items():
+        total = 0.0
+        for item in items:
+            nbytes = reply_bytes
+            if isinstance(item, tuple):
+                item, nbytes = item
+            totals = item.total() if isinstance(item, Ledger) else item
+            if isinstance(totals, (int, float)):
+                total += float(totals)  # already seconds
+            else:
+                total += machine.time_totals(totals, p)
+            total += machine.message_time(request_bytes)
+            total += machine.message_time(nbytes)
+        out[shard] = total
+    return out

@@ -69,6 +69,7 @@ SITES: dict[str, str] = {
     "cache.disk_store": "before a disk-cache archive write",
     "cache.disk_load": "before a disk-cache archive read",
     "checkpoint.save": "before a checkpoint phase write",
+    "cluster.worker.request": "start of a cluster worker layout/update",
 }
 
 

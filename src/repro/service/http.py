@@ -18,9 +18,12 @@ control).  Routes:
     every cached layout of the pre-update graph misses from then on.
     Answers with the new epoch and the effective edit counts.
 ``GET /healthz``
-    Liveness probe; ``{"status": "ok"}`` while serving, ``{"status":
-    "draining"}`` once graceful shutdown began (load balancers should
-    stop routing here).
+    Liveness probe; ``{"status": "ok", "workers": 1}`` while serving,
+    ``{"status": "draining", "workers": 1}`` once graceful shutdown
+    began (load balancers should stop routing here).  ``workers`` is the
+    number of healthy serving processes — always 1 in this in-process
+    mode, the live worker count behind a :mod:`repro.cluster` router —
+    so probes parse one schema in both modes.
 ``GET /stats``
     Telemetry + cache + pool snapshot as JSON, or as an aligned
     plain-text page with ``?format=text``.
@@ -51,11 +54,105 @@ from .engine import (
     UpdateRequest,
 )
 
-__all__ = ["LayoutServer", "make_server"]
+__all__ = [
+    "LayoutServer",
+    "layout_payload",
+    "make_server",
+    "parse_layout_doc",
+    "parse_update_doc",
+    "update_payload",
+]
 
 _MAX_BODY = 8 * 1024 * 1024
 
 logger = logging.getLogger("repro.service.http")
+
+
+def parse_layout_doc(doc: dict) -> tuple[LayoutRequest, bool]:
+    """Build a :class:`LayoutRequest` from a ``POST /layout`` body.
+
+    Shared by the HTTP handler and the cluster worker protocol
+    (:mod:`repro.cluster.worker`), so both speak exactly the same
+    request dialect.  Returns ``(request, include_coords)``.
+    """
+    graph = doc.get("graph")
+    if not isinstance(graph, str) or not graph:
+        raise BadRequest("'graph' (collection name) is required")
+    params = doc.get("params") or {}
+    if not isinstance(params, dict):
+        raise BadRequest("'params' must be an object")
+    try:
+        request = LayoutRequest(
+            graph=graph,
+            scale=str(doc.get("scale", "small")),
+            seed=int(doc.get("seed", 0)),
+            algorithm=str(doc.get("algorithm", "parhde")),
+            s=doc.get("s", 10),
+            params=params,
+            timeout=(
+                float(doc["timeout"]) if doc.get("timeout") is not None
+                else None
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad request field: {exc}") from exc
+    return request, bool(doc.get("include_coords", True))
+
+
+def parse_update_doc(doc: dict) -> UpdateRequest:
+    """Build an :class:`UpdateRequest` from a ``POST /update`` body."""
+    graph = doc.get("graph")
+    if not isinstance(graph, str) or not graph:
+        raise BadRequest("'graph' (collection name) is required")
+    for key in ("inserts", "deletes"):
+        if key in doc and not isinstance(doc[key], list):
+            raise BadRequest(f"'{key}' must be a list of [u, v] pairs")
+    try:
+        return UpdateRequest(
+            graph=graph,
+            scale=str(doc.get("scale", "small")),
+            seed=int(doc.get("seed", 0)),
+            inserts=tuple(doc.get("inserts") or ()),
+            deletes=tuple(doc.get("deletes") or ()),
+        )
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad update field: {exc}") from exc
+
+
+def layout_payload(response, include_coords: bool) -> dict:
+    """JSON-safe body for a served layout (HTTP and cluster protocol)."""
+    payload = {
+        "fingerprint": response.fingerprint,
+        "status": response.status,
+        "cache_hit": response.cache_hit,
+        "graph": response.graph_name,
+        "n": response.n,
+        "m": response.m,
+        "algorithm": response.result.algorithm,
+        "quality_tier": response.quality_tier,
+        "elapsed_seconds": response.elapsed,
+    }
+    if include_coords:
+        payload["coords"] = [
+            [float(x) for x in row] for row in response.result.coords
+        ]
+    return payload
+
+
+def update_payload(response) -> dict:
+    """JSON-safe body for an applied graph update."""
+    return {
+        "graph": response.graph_name,
+        "epoch": response.epoch,
+        "n": response.n,
+        "m": response.m,
+        "inserted": response.inserted,
+        "deleted": response.deleted,
+        "skipped": response.skipped,
+        "overlay_fraction": response.overlay_fraction,
+        "compacted": response.compacted,
+        "elapsed_seconds": response.elapsed,
+    }
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -107,6 +204,9 @@ class _Handler(BaseHTTPRequestHandler):
             "internal error %s handling %s %s: %s",
             error_id, self.command, self.path, exc,
         )
+        # Operator dashboards watch the *rate* of these; the log line
+        # alone is invisible to a metrics scrape.
+        self.engine.telemetry.inc("http.internal_errors")
         self._send(
             500,
             {
@@ -120,10 +220,13 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         url = urlparse(self.path)
         if url.path == "/healthz":
+            # One schema in both serving modes: "workers" counts healthy
+            # serving processes (1 here; the live worker count behind a
+            # repro.cluster router), so probes need no mode switch.
             if getattr(self.server, "draining", False):
-                self._send(503, {"status": "draining"})
+                self._send(503, {"status": "draining", "workers": 1})
             else:
-                self._send(200, {"status": "ok"})
+                self._send(200, {"status": "ok", "workers": 1})
         elif url.path == "/stats":
             fmt = parse_qs(url.query).get("format", ["json"])[0]
             stats = self.engine.stats()
@@ -173,40 +276,11 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 — last-resort 500
             self._send_internal(exc)
             return
-        include_coords = body[1]
-        payload = {
-            "fingerprint": response.fingerprint,
-            "status": response.status,
-            "cache_hit": response.cache_hit,
-            "graph": response.graph_name,
-            "n": response.n,
-            "m": response.m,
-            "algorithm": response.result.algorithm,
-            "quality_tier": response.quality_tier,
-            "elapsed_seconds": response.elapsed,
-        }
-        if include_coords:
-            payload["coords"] = [
-                [float(x) for x in row] for row in response.result.coords
-            ]
-        self._send(200, payload)
+        self._send(200, layout_payload(response, body[1]))
 
     def _post_update(self) -> None:
         try:
-            doc = self._read_body()
-            graph = doc.get("graph")
-            if not isinstance(graph, str) or not graph:
-                raise BadRequest("'graph' (collection name) is required")
-            for key in ("inserts", "deletes"):
-                if key in doc and not isinstance(doc[key], list):
-                    raise BadRequest(f"'{key}' must be a list of [u, v] pairs")
-            request = UpdateRequest(
-                graph=graph,
-                scale=str(doc.get("scale", "small")),
-                seed=int(doc.get("seed", 0)),
-                inserts=tuple(doc.get("inserts") or ()),
-                deletes=tuple(doc.get("deletes") or ()),
-            )
+            request = parse_update_doc(self._read_body())
             response = self.engine.update(request)
         except ServiceError as exc:
             self._send_error(exc)
@@ -217,21 +291,7 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 — last-resort 500
             self._send_internal(exc)
             return
-        self._send(
-            200,
-            {
-                "graph": response.graph_name,
-                "epoch": response.epoch,
-                "n": response.n,
-                "m": response.m,
-                "inserted": response.inserted,
-                "deleted": response.deleted,
-                "skipped": response.skipped,
-                "overlay_fraction": response.overlay_fraction,
-                "compacted": response.compacted,
-                "elapsed_seconds": response.elapsed,
-            },
-        )
+        self._send(200, update_payload(response))
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -248,29 +308,7 @@ class _Handler(BaseHTTPRequestHandler):
         return doc
 
     def _read_request(self) -> tuple[LayoutRequest, bool]:
-        doc = self._read_body()
-        graph = doc.get("graph")
-        if not isinstance(graph, str) or not graph:
-            raise BadRequest("'graph' (collection name) is required")
-        params = doc.get("params") or {}
-        if not isinstance(params, dict):
-            raise BadRequest("'params' must be an object")
-        try:
-            request = LayoutRequest(
-                graph=graph,
-                scale=str(doc.get("scale", "small")),
-                seed=int(doc.get("seed", 0)),
-                algorithm=str(doc.get("algorithm", "parhde")),
-                s=doc.get("s", 10),
-                params=params,
-                timeout=(
-                    float(doc["timeout"]) if doc.get("timeout") is not None
-                    else None
-                ),
-            )
-        except (TypeError, ValueError) as exc:
-            raise BadRequest(f"bad request field: {exc}") from exc
-        return request, bool(doc.get("include_coords", True))
+        return parse_layout_doc(self._read_body())
 
 
 class LayoutServer:

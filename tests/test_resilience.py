@@ -652,7 +652,7 @@ class TestServerDrain:
         server = make_server(engine, port=0).start()
         try:
             with urllib.request.urlopen(server.url + "/healthz") as resp:
-                assert json.loads(resp.read()) == {"status": "ok"}
+                assert json.loads(resp.read()) == {"status": "ok", "workers": 1}
             assert server.drain(0.5) is True
             with pytest.raises(urllib.error.HTTPError) as err:
                 urllib.request.urlopen(server.url + "/healthz")

@@ -428,7 +428,7 @@ class TestHTTP:
 
     def test_healthz(self, server):
         with urllib.request.urlopen(server.url + "/healthz", timeout=10) as r:
-            assert json.loads(r.read()) == {"status": "ok"}
+            assert json.loads(r.read()) == {"status": "ok", "workers": 1}
 
     def test_layout_cold_then_hot(self, server):
         body = {"graph": "grid", "s": 6, "scale": "tiny"}
@@ -511,6 +511,9 @@ class TestErrorHygiene:
         assert err["error_id"] in err["message"]
         assert err["error_id"] in caplog.text
         assert "secret-compute-detail" in caplog.text
+        # Operators alert on the counter, not on log scraping.
+        snap = broken_server.engine.telemetry.snapshot()
+        assert snap["counters"]["http.internal_errors"] == 1
 
 
 # ---------------------------------------------------------------------------
