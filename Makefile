@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke examples results clean
+.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke lod-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,11 @@ chaos-smoke:
 # plus an automatic restart that returns the cluster to full strength.
 cluster-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/cluster_smoke.py
+
+# progressive LOD: coarse first paint on a 150k-vertex graph, monotone
+# tier convergence to "full" over HTTP polling, counters accounted.
+lod-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/lod_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -142,6 +142,14 @@ def main(argv: list[str] | None = None) -> int:
         " and S after DOrtho under DIR, and resume an interrupted"
         " identical run from them (parhde only)",
     )
+    p_layout.add_argument(
+        "--lod",
+        action="store_true",
+        help="progressive level-of-detail: build a spectral coarsening"
+        " hierarchy and print each refinement tier's timing to stderr;"
+        " outputs (coords/png/archive) come from the final full-quality"
+        " frame (see docs/lod.md)",
+    )
 
     p_gaps = sub.add_parser("gaps", help="adjacency-gap histogram (Fig 2)")
     _add_graph_args(p_gaps)
@@ -230,6 +238,22 @@ def main(argv: list[str] | None = None) -> int:
         help="serve degraded (never erroring) layouts under failures and"
         " deadline pressure: degradation ladder + retries + per-graph"
         " circuit breakers (see docs/resilience.md)",
+    )
+    p_serve.add_argument(
+        "--lod",
+        metavar="MODE",
+        default=None,
+        help="default progressive-LOD mode for requests that do not set"
+        " one: 'auto', 'off', or a first-paint budget in ms (per-request"
+        " 'lod' always works regardless; see docs/lod.md)",
+    )
+    p_serve.add_argument(
+        "--placement",
+        default="hash",
+        choices=("hash", "lpt"),
+        help="cluster routing policy (--workers N only): consistent"
+        " hashing, or sticky size-balanced LPT placement fed by observed"
+        " request latencies (see docs/cluster.md)",
     )
     p_serve.add_argument(
         "--drain-timeout",
@@ -365,6 +389,11 @@ def main(argv: list[str] | None = None) -> int:
         if getattr(args, "checkpoint", None):
             if args.algo != "parhde":
                 parser.error("--checkpoint requires --algo parhde")
+            if args.lod:
+                parser.error(
+                    "--lod and --checkpoint are mutually exclusive (the"
+                    " progressive chain runs many layouts, not one)"
+                )
             from .resilience import CheckpointStore
 
             ckpt = CheckpointStore(args.checkpoint).bind(
@@ -377,7 +406,30 @@ def main(argv: list[str] | None = None) -> int:
                 ),
             )
             kwargs["checkpoint"] = ckpt
-        res = algo(g, args.subspace, seed=args.seed, **kwargs)
+        if args.lod:
+            import time as _time
+
+            from .lod import progressive_layout
+
+            t0 = _time.perf_counter()
+            res = None
+            for frame in progressive_layout(
+                g,
+                args.subspace,
+                seed=args.seed,
+                algorithm=algo,
+                algorithm_name=args.algo,
+                **kwargs,
+            ):
+                print(
+                    f"lod: tier={frame.tier} depth={frame.depth}"
+                    f" t={_time.perf_counter() - t0:.3f}s",
+                    file=sys.stderr,
+                )
+                res = frame.result
+            assert res is not None
+        else:
+            res = algo(g, args.subspace, seed=args.seed, **kwargs)
         if ckpt is not None:
             print(
                 f"checkpoint {ckpt.dir}: restored={ckpt.stats['restores']}"
@@ -563,18 +615,22 @@ def _serve(args) -> int:
     engine = None
     router = None
     if args.workers == 0:
+        from .lod import ProgressiveEngine
         from .service import LayoutCache, LayoutEngine, make_server
 
         cache = LayoutCache(
             max_bytes=int(args.cache_mb * 1024 * 1024),
             disk_dir=args.cache_dir,
         )
-        engine = LayoutEngine(
-            cache=cache,
-            workers=args.threads,
-            queue_limit=args.queue_depth,
-            timeout=args.timeout,
-            resilience=True if args.resilience else None,
+        engine = ProgressiveEngine(
+            LayoutEngine(
+                cache=cache,
+                workers=args.threads,
+                queue_limit=args.queue_depth,
+                timeout=args.timeout,
+                resilience=True if args.resilience else None,
+            ),
+            lod=args.lod,
         )
         server = make_server(
             engine, host=args.host, port=args.port, verbose=args.verbose
@@ -591,6 +647,8 @@ def _serve(args) -> int:
             cache_mb=args.cache_mb,
             cache_dir=args.cache_dir,
             resilience=args.resilience,
+            placement=args.placement,
+            lod=args.lod,
         )
         print(
             f"parhde serve: spawning {args.workers} worker"
@@ -601,7 +659,10 @@ def _serve(args) -> int:
         server = make_cluster_server(
             router, host=args.host, port=args.port, verbose=args.verbose
         )
-        mode = f"{args.workers} worker processes, threads={args.threads}/worker"
+        mode = (
+            f"{args.workers} worker processes, threads={args.threads}/worker"
+            + (f", placement={args.placement}" if args.placement != "hash" else "")
+        )
     host, port = server.address
     print(
         f"parhde serve: listening on http://{host}:{port}"
@@ -609,11 +670,12 @@ def _serve(args) -> int:
         f" cache={args.cache_mb:g} MiB"
         + (f", disk={args.cache_dir}" if args.cache_dir else "")
         + (", resilience=on" if args.resilience else "")
+        + (f", lod={args.lod}" if args.lod else "")
         + ")",
         file=sys.stderr,
     )
     print(
-        "routes: POST /layout  POST /update  GET /healthz"
+        "routes: POST /layout  GET /layout  POST /update  GET /healthz"
         "  GET /stats[?format=text]",
         file=sys.stderr,
     )

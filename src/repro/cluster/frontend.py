@@ -2,9 +2,10 @@
 
 Same wire contract as the in-process endpoint
 (:mod:`repro.service.http`): ``POST /layout``, ``POST /update``,
-``GET /healthz``, ``GET /stats`` — clients and probes cannot tell which
-mode they are talking to, except that ``/stats`` answers the aggregated
-cluster shape (``router`` / ``ring`` / ``workers`` / ``aggregate``
+``GET /layout`` (the progressive-LOD polling form), ``GET /healthz``,
+``GET /stats`` — clients and probes cannot tell which mode they are
+talking to, except that ``/stats`` answers the aggregated cluster shape
+(``router`` / ``ring`` / ``placement`` / ``workers`` / ``aggregate``
 sections) and ``/healthz`` reports the live worker count.
 
 The handler threads block inside :class:`~repro.cluster.router
@@ -25,6 +26,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from ..service.engine import BadRequest, ServiceError
+from ..service.http import layout_doc_from_query
 from .router import ClusterRouter
 
 __all__ = ["ClusterServer", "make_cluster_server"]
@@ -120,6 +122,18 @@ class _ClusterHandler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send(200, stats)
+        elif url.path == "/layout":
+            # Polling form for progressive LOD: same doc dialect as the
+            # POST body, built from the query string, routed identically.
+            try:
+                payload = self.router.layout(layout_doc_from_query(url.query))
+            except ServiceError as exc:
+                self._send_error(exc)
+                return
+            except Exception as exc:  # noqa: BLE001 — last-resort 500
+                self._send_internal(exc)
+                return
+            self._send(200, payload)
         else:
             self._send(
                 404, {"error": "not_found", "message": f"no route {url.path}"}

@@ -55,6 +55,7 @@ from ..service.engine import (
     ValidationFailed,
 )
 from ..service.fingerprint import canonical_params
+from .policy import LivePlacement
 from .protocol import ProtocolError, recv_msg, send_msg
 from .ring import HashRing, graph_key
 from .worker import WorkerConfig, worker_main
@@ -218,6 +219,18 @@ class ClusterRouter:
         it to observe the degraded ring.
     start_timeout:
         Seconds to wait for a spawned worker to report ready.
+    placement:
+        ``"hash"`` (default) routes on the consistent-hash ring;
+        ``"lpt"`` routes through :class:`~repro.cluster.policy.
+        LivePlacement` — sticky size-balanced placement with LPT
+        reassignment on worker death (the ring stays maintained as the
+        fallback when the placement has no live worker to offer).
+    lod / lod_opts:
+        Per-worker progressive-LOD default mode and
+        :class:`~repro.lod.LodConfig` knob overrides (dict); forwarded
+        into every :class:`~repro.cluster.worker.WorkerConfig` so
+        sharded workers serve coarse-first exactly like the in-process
+        engine.
     """
 
     def __init__(
@@ -239,9 +252,16 @@ class ClusterRouter:
         start_timeout: float = 60.0,
         telemetry: Telemetry | None = None,
         chaos_sites: Iterable[dict] = (),
+        placement: str = "hash",
+        lod: str | float | None = None,
+        lod_opts: dict | None = None,
     ):
         if workers < 1:
             raise ValueError(f"cluster needs >= 1 worker, got {workers}")
+        if placement not in ("hash", "lpt"):
+            raise ValueError(
+                f"placement must be 'hash' or 'lpt', got {placement!r}"
+            )
         self.timeout = timeout
         self.restart = restart
         self.heartbeat_interval = heartbeat_interval
@@ -254,6 +274,7 @@ class ClusterRouter:
         )
         self._ctx = mp.get_context("spawn")
         self._ring = HashRing(vnodes)
+        self._placement = LivePlacement() if placement == "lpt" else None
         self._lock = threading.Lock()  # guards ring + worker state flips
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
@@ -273,6 +294,8 @@ class ClusterRouter:
                 cache_dir=(f"{cache_dir}/worker-{i}" if cache_dir else None),
                 resilience=resilience,
                 validation=validation,
+                lod=lod,
+                lod_opts=tuple(sorted((lod_opts or {}).items())),
                 chaos_sites=tuple(dict(s) for s in chaos_sites),
             )
             self._workers[i] = _Worker(i, config)
@@ -329,6 +352,8 @@ class ClusterRouter:
         with self._lock:
             worker.state = "up"
             self._ring.add(worker.id)
+            if self._placement is not None:
+                self._placement.add_worker(worker.id)
 
     def close(self) -> None:
         """Stop the monitor and shut every worker down (best effort)."""
@@ -405,6 +430,14 @@ class ClusterRouter:
                 return
             worker.state = "dead"
             self._ring.remove(worker.id)
+            if self._placement is not None:
+                # Eager LPT reassignment: the dead worker's keys move
+                # heaviest-first onto the least-loaded survivors now,
+                # instead of one by one as requests trickle in.
+                live = [
+                    w.id for w in self._workers.values() if w.state == "up"
+                ]
+                self._placement.evict_worker(worker.id, live)
         self.telemetry.inc("router.worker_deaths")
         self._breakers.record(f"worker:{worker.id}", False)
         worker.close_idle()
@@ -477,6 +510,8 @@ class ClusterRouter:
         # Everything that shapes the layout identity; include_coords is
         # presentation (the router always fetches coords and strips) and
         # timeout is a client-side budget, so neither splits a flight.
+        # "lod" IS identity: an lod=auto request may legitimately be
+        # answered at a coarse tier, an lod=off request must not be.
         return canonical_params(
             {
                 "graph": doc.get("graph"),
@@ -485,8 +520,24 @@ class ClusterRouter:
                 "algorithm": doc.get("algorithm", "parhde"),
                 "s": doc.get("s", 10),
                 "params": doc.get("params") or {},
+                "lod": doc.get("lod"),
             }
         )
+
+    def _owner_locked(self, route_key: str) -> int:
+        """Owning worker id for a route key (caller holds ``self._lock``).
+
+        LPT placement when enabled, consistent hashing otherwise; falls
+        back to the ring if the placement table has no live worker to
+        offer (races around membership changes).
+        """
+        if self._placement is not None:
+            live = [w.id for w in self._workers.values() if w.state == "up"]
+            try:
+                return self._placement.assign(route_key, live)
+            except LookupError:
+                pass
+        return self._ring.owner(route_key)
 
     def _check_open(self, counter: str) -> None:
         self.telemetry.inc(counter)
@@ -524,6 +575,11 @@ class ClusterRouter:
                     self._flights.pop(key, None)
                 flight.event.set()
             payload = dict(flight.result)
+            if self._placement is not None:
+                self._placement.observe(
+                    self._route_key(doc),
+                    float(payload.get("elapsed_seconds") or 0.0),
+                )
         else:
             self.telemetry.inc("router.coalesced")
             budget = float(doc.get("timeout") or self.timeout) + 5.0
@@ -560,7 +616,7 @@ class ClusterRouter:
             with self._lock:
                 if not len(self._ring):
                     break
-                worker = self._workers[self._ring.owner(route_key)]
+                worker = self._workers[self._owner_locked(route_key)]
             try:
                 reply = worker.request({"op": op, "body": body}, budget)
             except (OSError, ProtocolError) as exc:
@@ -611,10 +667,16 @@ class ClusterRouter:
                 "vnodes": self._ring.vnodes,
             }
         workers = self.worker_stats()
+        placement = (
+            self._placement.snapshot()
+            if self._placement is not None
+            else {"policy": "hash"}
+        )
         return {
             "mode": "cluster",
             "router": snap,
             "ring": ring,
+            "placement": placement,
             "workers": workers,
             "aggregate": _aggregate(workers, snap),
             "draining": self._draining,
@@ -655,8 +717,13 @@ class ClusterRouter:
     # -- test/ops instrumentation -----------------------------------------
     def owner_of(self, name: str, scale: str = "small", seed: int = 0) -> int:
         """Worker id currently owning a named graph (tests, ops tooling)."""
+        key = graph_key(name, scale, seed)
         with self._lock:
-            return self._ring.owner(graph_key(name, scale, seed))
+            if self._placement is not None:
+                sticky = self._placement.peek(key)
+                if sticky is not None:
+                    return sticky
+            return self._ring.owner(key)
 
     def arm_chaos(self, worker_id: int, site: str, **spec) -> dict:
         """Arm a chaos failpoint inside one worker process."""

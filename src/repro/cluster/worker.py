@@ -89,22 +89,41 @@ class WorkerConfig:
     resilience: bool = False
     validation: str | None = None
     host: str = "127.0.0.1"
+    #: Default progressive-LOD mode (``None``/``"off"``/``"auto"``/budget
+    #: ms as a float) — the engine is always wrapped in a
+    #: :class:`repro.lod.ProgressiveEngine` so per-request ``lod``
+    #: works; this sets the default for requests that don't specify it.
+    lod: str | float | None = None
+    #: LodConfig knob overrides as a sorted ``((key, value), ...)`` tuple
+    #: (must stay hashable for this frozen dataclass to pickle cheaply).
+    lod_opts: tuple = field(default_factory=tuple)
     #: Failpoints to arm at startup: ``[{"site": ..., "sleep": ...}]``.
     chaos_sites: tuple = field(default_factory=tuple)
 
 
-def _build_engine(config: WorkerConfig) -> LayoutEngine:
+def _build_engine(config: WorkerConfig):
+    from ..lod import LodConfig, ProgressiveEngine
+
     cache = LayoutCache(
         max_bytes=int(config.cache_mb * 1024 * 1024),
         disk_dir=config.cache_dir,
     )
-    return LayoutEngine(
+    engine = LayoutEngine(
         cache=cache,
         workers=config.compute_threads,
         queue_limit=config.queue_limit,
         timeout=config.timeout,
         resilience=True if config.resilience else None,
         validation=config.validation,
+    )
+    # Always wrap: the wrapper is pass-through when neither the worker
+    # default nor the request asks for LOD, and wrapping unconditionally
+    # means a request-level "lod": "auto" works on any cluster.
+    opts = dict(config.lod_opts)
+    return ProgressiveEngine(
+        engine,
+        lod=config.lod,
+        config=LodConfig(**opts) if opts else None,
     )
 
 

@@ -1,6 +1,17 @@
-"""Multilevel layout: heavy-edge coarsening + ParHDE + centroid refinement."""
+"""Multilevel layout: coarsening + ParHDE + centroid refinement.
 
-from .coarsen import CoarseLevel, coarsen, contract, heavy_edge_matching
+Two coarsening rules: heavy-edge matching (layout quality) and
+spectrum-preserving matching (scale, :mod:`repro.lod`)."""
+
+from .coarsen import (
+    CoarseLevel,
+    absorb_singletons,
+    coarsen,
+    contract,
+    heavy_edge_matching,
+    spectral_coarsen,
+    spectral_matching,
+)
 from .layout import (
     MultilevelResult,
     build_hierarchy,
@@ -11,8 +22,11 @@ from .layout import (
 __all__ = [
     "CoarseLevel",
     "heavy_edge_matching",
+    "spectral_matching",
+    "absorb_singletons",
     "contract",
     "coarsen",
+    "spectral_coarsen",
     "MultilevelResult",
     "build_hierarchy",
     "prolong",

@@ -46,10 +46,12 @@ __all__ = [
     "baseline_layout",
     "chaos",
     "fractions_from_breakdown",
+    "is_lod_tier",
     "phase_scope",
     "resilient_layout",
     "run_key",
     "split_budget",
+    "tier_rank",
     "with_retry",
 ]
 
@@ -59,7 +61,9 @@ __all__ = [
 _LAZY = {
     "QUALITY_TIERS": "ladder",
     "baseline_layout": "ladder",
+    "is_lod_tier": "ladder",
     "resilient_layout": "ladder",
+    "tier_rank": "ladder",
 }
 
 

@@ -50,11 +50,48 @@ from .deadline import (
 )
 from .retry import RetryPolicy, with_retry
 
-__all__ = ["QUALITY_TIERS", "baseline_layout", "resilient_layout"]
+__all__ = [
+    "QUALITY_TIERS",
+    "baseline_layout",
+    "is_lod_tier",
+    "resilient_layout",
+    "tier_rank",
+]
 
 #: Quality tiers, best first.  ``"full"`` is the only tier the serving
 #: cache stores; everything below is a per-request answer.
 QUALITY_TIERS = ("full", "reduced", "coarse", "baseline")
+
+
+def is_lod_tier(tier: str) -> bool:
+    """True for the progressive tiers (``"lod-1"``, ``"lod-2"``, ...).
+
+    LOD tiers are *transient* approximations on the way to ``"full"``
+    (:mod:`repro.lod`), distinct from the degradation tiers above which
+    mark a pipeline that could not deliver.
+    """
+    return str(tier).startswith("lod-")
+
+
+def tier_rank(tier: str) -> int:
+    """Total order over quality tiers: lower is better, ``"full"`` is 0.
+
+    Progressive tiers rank by their hierarchy depth (``"lod-2"`` is
+    coarser — worse — than ``"lod-1"``); the degradation tiers rank
+    below every realistic LOD depth.  Callers use this to enforce
+    monotone quality (never replace a served layout with a coarser one).
+    """
+    tier = str(tier)
+    if tier == "full":
+        return 0
+    if is_lod_tier(tier):
+        try:
+            return max(1, int(tier[4:]))
+        except ValueError:
+            return 999
+    if tier in QUALITY_TIERS:
+        return 1000 + QUALITY_TIERS.index(tier)
+    return 9999
 
 
 def _rank_deficient(exc: BaseException) -> bool:

@@ -37,7 +37,7 @@ from ..graph.csr import CSRGraph
 from ..parallel.pool import PoolSaturated, TaskPool
 from ..resilience import BreakerRegistry, Deadline, RetryPolicy
 from ..resilience.breaker import OPEN
-from ..resilience.ladder import baseline_layout, resilient_layout
+from ..resilience.ladder import baseline_layout, is_lod_tier, resilient_layout
 from ..stream.delta import edge_delta
 from ..stream.overlay import DynamicGraph
 from ..validate import (
@@ -187,6 +187,12 @@ class LayoutRequest:
     timeout:
         Per-request deadline override in seconds (``None`` = engine
         default).
+    lod:
+        Progressive level-of-detail mode (:mod:`repro.lod`): ``None``
+        (engine default), ``"off"``, ``"auto"``, or a first-paint budget
+        in milliseconds.  Ignored by a plain :class:`LayoutEngine`;
+        honored when the engine is wrapped in a
+        :class:`~repro.lod.ProgressiveEngine`.
     """
 
     graph: str | CSRGraph
@@ -196,6 +202,7 @@ class LayoutRequest:
     s: int = 10
     params: Mapping[str, Any] = field(default_factory=dict)
     timeout: float | None = None
+    lod: str | float | None = None
 
 
 @dataclass(frozen=True)
@@ -273,14 +280,21 @@ class _GraphState:
     staleness guarantee (a pre-update layout can never be served for the
     post-update graph).  Rehashing the full CSR on every small delta
     would defeat the point of the overlay.
+
+    ``content`` counts *content changes* only (update batches), while
+    ``epoch`` additionally bumps on every published LOD refinement
+    (:meth:`LayoutEngine.publish_layout`) — the epoch is the cache
+    namespace, the content counter is the graph identity progressive
+    refinement chains check before publishing against.
     """
 
-    __slots__ = ("dyn", "digest", "epoch", "lock")
+    __slots__ = ("dyn", "digest", "epoch", "content", "lock")
 
     def __init__(self, g: CSRGraph):
         self.dyn = DynamicGraph(g)
         self.digest = graph_digest(g)
         self.epoch = 0
+        self.content = 0
         self.lock = threading.Lock()
 
 
@@ -477,6 +491,7 @@ class LayoutEngine:
             except ValueError as exc:
                 raise BadRequest(str(exc)) from exc
             state.epoch += 1
+            state.content += 1
             compacted = state.dyn.maybe_compact()
             return UpdateResponse(
                 graph_name=request.graph,
@@ -517,14 +532,70 @@ class LayoutEngine:
         self, request: LayoutRequest
     ) -> tuple[CSRGraph, str, str, int]:
         """Return ``(graph, digest, display_name, epoch)`` for a request."""
+        g, digest, name, epoch, _ = self.resolve_versioned(request)
+        return g, digest, name, epoch
+
+    def resolve_versioned(
+        self, request: LayoutRequest
+    ) -> tuple[CSRGraph, str, str, int, int]:
+        """Return ``(graph, digest, display_name, epoch, content)``.
+
+        ``content`` is the graph's content version (update batches
+        applied); progressive refinement chains capture it at first
+        paint and re-check it before publishing, so a refinement of a
+        graph that has since been edited is discarded instead of
+        published.
+        """
         if isinstance(request.graph, CSRGraph):
             g = request.graph
-            return g, graph_digest(g), g.name or "<in-memory>", 0
+            return g, graph_digest(g), g.name or "<in-memory>", 0, 0
         state = self._graph_state(request.graph, request.scale, request.seed)
         with state.lock:
             g = state.dyn.to_csr()
             epoch = state.epoch
-        return g, state.digest, g.name or request.graph, epoch
+            content = state.content
+        return g, state.digest, g.name or request.graph, epoch, content
+
+    def publish_layout(
+        self,
+        graph: str,
+        scale: str,
+        seed: int,
+        algorithm: str,
+        kwargs: Mapping[str, Any],
+        result: LayoutResult,
+        *,
+        expect_content: int | None = None,
+    ) -> str | None:
+        """Publish an asynchronously refined layout for a named graph.
+
+        Bumps the graph's epoch — every fingerprint derived from the old
+        epoch now misses, memory and disk tier alike — and caches
+        ``result`` under the new epoch's fingerprint, so the next
+        ``GET /layout`` poll picks up the refinement.  This is the same
+        invalidation path ``POST /update`` uses; refinements and edits
+        share one coherent namespace.
+
+        When ``expect_content`` is given and the graph's content version
+        has moved (an update landed after the refinement started), the
+        stale refinement is discarded and ``None`` is returned.
+        Otherwise returns the new fingerprint.
+        """
+        state = self._graph_state(graph, scale, seed)
+        with state.lock:
+            if expect_content is not None and state.content != expect_content:
+                return None
+            state.epoch += 1
+            fingerprint = layout_fingerprint(
+                state.digest, algorithm, kwargs, epoch=state.epoch
+            )
+        # Cache outside the state lock: a disk-tier put does I/O, and a
+        # poll racing the bump->put gap is served by the progressive
+        # engine's in-memory best-result record, never a stale entry
+        # (the old epoch's fingerprint is already unreachable).
+        self.cache.put(fingerprint, result)
+        self.telemetry.inc("lod.published")
+        return fingerprint
 
     def _validate(self, request: LayoutRequest, g: CSRGraph) -> dict[str, Any]:
         if request.algorithm not in self._algorithms:
@@ -638,6 +709,17 @@ class LayoutEngine:
             )
 
         cached = self.cache.get(fingerprint)
+        if (
+            cached is not None
+            and is_lod_tier(cached[0].quality_tier)
+            and request.lod in (None, "off")
+        ):
+            # A progressive wrapper published a coarse-tier refinement at
+            # this fingerprint; a caller that did not ask for LOD must
+            # get the full-tier layout, so recompute (the full result
+            # overwrites the coarse entry at the same fingerprint).
+            self.telemetry.inc("lod.tier_misses")
+            cached = None
         if cached is not None:
             result, tier = cached
             if self.validation.enabled:

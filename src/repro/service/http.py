@@ -7,10 +7,19 @@ control).  Routes:
 
 ``POST /layout``
     Body ``{"graph": "barth", "scale": "tiny", "algorithm": "parhde",
-    "s": 8, "seed": 0, "params": {...}, "include_coords": true}``.
-    Only ``graph`` is required.  Answers with serving metadata
-    (fingerprint, cache status, elapsed seconds) and, unless
-    ``include_coords`` is false, the ``n x d`` coordinate list.
+    "s": 8, "seed": 0, "params": {...}, "lod": "auto",
+    "include_coords": true}``.  Only ``graph`` is required.  Answers
+    with serving metadata (fingerprint, cache status, quality tier,
+    elapsed seconds) and, unless ``include_coords`` is false, the
+    ``n x d`` coordinate list.  ``lod`` selects progressive serving
+    (engines wrapped in :class:`repro.lod.ProgressiveEngine`):
+    ``"off"``, ``"auto"`` (coarsest-first) or a first-paint budget in
+    milliseconds; see docs/lod.md.
+``GET /layout``
+    Same request via query string (``?graph=barth&scale=tiny&lod=auto``,
+    plus ``seed``/``algorithm``/``s``/``timeout``/``include_coords``) —
+    the polling form: a client that got a coarse ``quality_tier``
+    re-issues the GET until the tier reaches ``"full"``.
 ``POST /update``
     Body ``{"graph": "barth", "scale": "tiny", "seed": 0,
     "inserts": [[u, v], [u, v, w], ...], "deletes": [[u, v], ...]}``.
@@ -41,6 +50,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -56,9 +66,11 @@ from .engine import (
 
 __all__ = [
     "LayoutServer",
+    "layout_doc_from_query",
     "layout_payload",
     "make_server",
     "parse_layout_doc",
+    "parse_lod_value",
     "parse_update_doc",
     "update_payload",
 ]
@@ -93,10 +105,81 @@ def parse_layout_doc(doc: dict) -> tuple[LayoutRequest, bool]:
                 float(doc["timeout"]) if doc.get("timeout") is not None
                 else None
             ),
+            lod=parse_lod_value(doc.get("lod")),
         )
     except (TypeError, ValueError) as exc:
         raise BadRequest(f"bad request field: {exc}") from exc
     return request, bool(doc.get("include_coords", True))
+
+
+def parse_lod_value(value) -> str | float | None:
+    """Normalize a request's ``lod`` field.
+
+    Accepts ``None`` (engine default), booleans (``true`` = ``"auto"``),
+    the strings ``"off"``/``"auto"``, or a number / numeric string — a
+    first-paint budget in milliseconds, which must be finite and > 0.
+    """
+    if value is None:
+        return None
+    if value is True:
+        return "auto"
+    if value is False:
+        return "off"
+    if isinstance(value, str):
+        if value in ("off", "auto"):
+            return value
+        try:
+            value = float(value)
+        except ValueError:
+            raise BadRequest(
+                "'lod' must be 'off', 'auto' or a budget in milliseconds,"
+                f" got {value!r}"
+            ) from None
+    if isinstance(value, (int, float)):
+        budget = float(value)
+        if not math.isfinite(budget) or budget <= 0:
+            raise BadRequest(
+                f"'lod' budget must be finite and > 0 ms, got {budget!r}"
+            )
+        return budget
+    raise BadRequest(
+        f"'lod' must be 'off', 'auto' or a budget in milliseconds,"
+        f" got {value!r}"
+    )
+
+
+def layout_doc_from_query(query: str) -> dict:
+    """Translate ``GET /layout`` query params into the POST body dialect.
+
+    Scalar fields only (no nested ``params`` object — pass-through
+    algorithm parameters need the POST form); unknown keys are rejected
+    so typos fail loudly instead of silently using defaults.
+    """
+    known = {
+        "graph", "scale", "seed", "algorithm", "s", "timeout", "lod",
+        "include_coords",
+    }
+    doc: dict = {}
+    for key, values in parse_qs(query, keep_blank_values=True).items():
+        if key not in known:
+            raise BadRequest(
+                f"unknown query parameter {key!r}; allowed: {sorted(known)}"
+            )
+        doc[key] = values[-1]
+    if "include_coords" in doc:
+        doc["include_coords"] = doc["include_coords"].lower() not in (
+            "0", "false", "no", "",
+        )
+    for key in ("seed", "s"):
+        if key in doc:
+            try:
+                doc[key] = int(doc[key])
+            except ValueError:
+                raise BadRequest(
+                    f"query parameter {key!r} must be an integer,"
+                    f" got {doc[key]!r}"
+                ) from None
+    return doc
 
 
 def parse_update_doc(doc: dict) -> UpdateRequest:
@@ -242,6 +325,29 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send(200, stats)
+        elif url.path == "/layout":
+            if getattr(self.server, "draining", False):
+                self._send(
+                    503,
+                    {
+                        "error": "overloaded",
+                        "message": "server is draining; retry against"
+                        " another instance",
+                    },
+                )
+                return
+            try:
+                request, include_coords = parse_layout_doc(
+                    layout_doc_from_query(url.query)
+                )
+                response = self.engine.submit(request)
+            except ServiceError as exc:
+                self._send_error(exc)
+                return
+            except Exception as exc:  # noqa: BLE001 — last-resort 500
+                self._send_internal(exc)
+                return
+            self._send(200, layout_payload(response, include_coords))
         else:
             self._send(
                 404, {"error": "not_found", "message": f"no route {url.path}"}

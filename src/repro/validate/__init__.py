@@ -34,6 +34,7 @@ from .checkers import (
     check_d_orthogonality,
     check_eigenpairs,
     check_laplacian_identity,
+    check_lod_distortion,
     check_overlay_digest,
     check_repair_equivalence,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "check_d_orthogonality",
     "check_eigenpairs",
     "check_laplacian_identity",
+    "check_lod_distortion",
     "check_overlay_digest",
     "check_repair_equivalence",
     "run_injection",

@@ -48,6 +48,7 @@ __all__ = [
     "check_d_orthogonality",
     "check_eigenpairs",
     "check_laplacian_identity",
+    "check_lod_distortion",
     "check_overlay_digest",
     "check_repair_equivalence",
 ]
@@ -307,3 +308,31 @@ def check_cache_consistency(
         0.0,
         "; ".join(mismatches),
     )
+
+
+def check_lod_distortion(hierarchy, *, bound: float = 3.0) -> CheckResult:
+    """A LOD hierarchy's measured eigenvalue distortion must stay bounded.
+
+    Galerkin coarsening guarantees one-sided interlacing (coarse
+    generalized eigenvalues dominate fine ones), but not by how much; a
+    hierarchy whose measured worst per-step ratio ``mu_i / lambda_i``
+    exceeds ``bound`` has drifted too far from the fine spectrum to be a
+    trustworthy coarse-tier answer.  Levels too large for an exact dense
+    solve report no measurement and are exempt (the residual covers the
+    measured levels only).
+    """
+    measured = [
+        (i + 1, lvl.distortion)
+        for i, lvl in enumerate(hierarchy.levels)
+        if lvl.distortion is not None
+    ]
+    if not measured:
+        return CheckResult(
+            "lod.distortion", "Lod", 0.0, float(bound), "no level measured"
+        )
+    worst_depth, worst = max(measured, key=lambda t: t[1])
+    detail = (
+        f"worst step -> depth {worst_depth} of {len(hierarchy.levels)}"
+        f" ({len(measured)} measured)"
+    )
+    return CheckResult("lod.distortion", "Lod", float(worst), float(bound), detail)

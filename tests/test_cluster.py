@@ -31,6 +31,8 @@ from repro.cluster import (
     recv_msg,
     send_msg,
 )
+from repro.cluster.policy import LivePlacement
+from repro.resilience import is_lod_tier, tier_rank
 from repro.parallel import shard_times
 from repro.parallel.machine import BRIDGES_RSM
 from repro.service.engine import BadRequest, Overloaded
@@ -421,3 +423,200 @@ class TestDrainAndLifecycle:
                 router.layout({"graph": "barth", **TINY})
         finally:
             router.close()
+
+
+# ---------------------------------------------------------------------------
+# live LPT placement
+# ---------------------------------------------------------------------------
+
+
+class TestLivePlacement:
+    def test_sticky_assignment(self):
+        lp = LivePlacement()
+        lp.add_worker(0)
+        lp.add_worker(1)
+        first = lp.assign("g1", live=[0, 1])
+        for _ in range(5):
+            assert lp.assign("g1", live=[0, 1]) == first
+
+    def test_cold_table_balances_by_count(self):
+        lp = LivePlacement()
+        owners = [lp.assign(f"g{i}", live=[0, 1, 2]) for i in range(9)]
+        counts = {w: owners.count(w) for w in (0, 1, 2)}
+        assert all(c == 3 for c in counts.values())
+
+    def test_observe_steers_new_keys_away_from_hot_worker(self):
+        lp = LivePlacement()
+        a = lp.assign("hot", live=[0, 1])
+        lp.observe("hot", 100.0)  # this key turned out to be expensive
+        b = lp.assign("cold", live=[0, 1])
+        assert b != a
+        snap = lp.snapshot()
+        assert snap["policy"] == "lpt"
+        assert snap["load"][str(a)] > snap["load"][str(b)]
+
+    def test_evict_reassigns_heaviest_first(self):
+        lp = LivePlacement()
+        for key, cost in (("big", 8.0), ("mid", 4.0), ("small", 1.0)):
+            assert lp.assign(key, live=[0]) == 0
+            lp.observe(key, cost)
+        lp.add_worker(1)
+        lp.add_worker(2)
+        moved = lp.evict_worker(0, live=[0, 1, 2])
+        assert set(moved) == {"big", "mid", "small"}
+        # LPT: big and mid land on different survivors; small joins mid.
+        assert moved["big"] != moved["mid"]
+        for key, target in moved.items():
+            assert lp.peek(key) == target
+        assert lp.snapshot()["load"].get("0") is None
+
+    def test_no_live_workers_raises(self):
+        lp = LivePlacement()
+        with pytest.raises(LookupError):
+            lp.assign("g", live=[])
+
+    def test_stale_sticky_entry_replaced(self):
+        lp = LivePlacement()
+        assert lp.assign("g", live=[0]) == 0
+        # Worker 0 vanished without an evict (race): assign must re-place.
+        assert lp.assign("g", live=[1, 2]) in (1, 2)
+
+
+# ---------------------------------------------------------------------------
+# progressive LOD + LPT over the live cluster
+# ---------------------------------------------------------------------------
+
+_LOD_OPTS = {"min_vertices": 1, "coarsest_size": 64, "refine_sweeps": 1}
+
+
+@pytest.fixture(scope="module")
+def lod_cluster():
+    router = ClusterRouter(
+        2,
+        compute_threads=2,
+        timeout=60.0,
+        cache_mb=32.0,
+        heartbeat_interval=0.2,
+        placement="lpt",
+        lod_opts=_LOD_OPTS,
+    ).start()
+    yield router
+    router.close()
+
+
+def _poll_to_full(router, body, budget=30.0):
+    tiers = []
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        resp = router.layout(body)
+        if not tiers or resp["quality_tier"] != tiers[-1]:
+            tiers.append(resp["quality_tier"])
+        if resp["quality_tier"] == "full":
+            return tiers, resp
+        time.sleep(0.05)
+    raise AssertionError(f"never converged to full; saw {tiers}")
+
+
+class TestLodCluster:
+    def test_first_paint_then_monotone_convergence(self, lod_cluster):
+        body = {"graph": "barth", **TINY, "lod": "auto",
+                "include_coords": False}
+        first = lod_cluster.layout(body)
+        assert first["status"] == "computed"
+        assert is_lod_tier(first["quality_tier"])
+        tiers, final = _poll_to_full(lod_cluster, body)
+        ranks = [tier_rank(t) for t in [first["quality_tier"]] + tiers]
+        assert ranks == sorted(ranks, reverse=True)
+        assert final["quality_tier"] == "full"
+
+    def test_tier_parity_with_in_process_engine(self, lod_cluster):
+        """Satellite: quality_tier must be identical between --workers N
+        and in-process serving for the same request and LOD config."""
+        from repro.lod import LodConfig, ProgressiveEngine
+        from repro.service import LayoutEngine, LayoutRequest
+
+        body = {"graph": "web", **TINY, "lod": "auto",
+                "include_coords": False}
+        cluster_first = lod_cluster.layout(body)["quality_tier"]
+        eng = ProgressiveEngine(
+            LayoutEngine(workers=2), config=LodConfig(**_LOD_OPTS)
+        )
+        try:
+            local = eng.submit(
+                LayoutRequest(graph="web", scale="tiny", s=6, lod="auto")
+            )
+            assert local.result.quality_tier == cluster_first
+        finally:
+            eng.close()
+
+    def test_every_response_carries_quality_tier(self, lod_cluster):
+        body = {"graph": "barth", **TINY, "include_coords": False}
+        resp = lod_cluster.layout(body)
+        assert resp["quality_tier"] == "full"
+
+    def test_coalesced_followers_get_leaders_tier(self, lod_cluster):
+        body = {"graph": "ecology", **TINY, "lod": "auto",
+                "include_coords": False}
+        owner = lod_cluster.owner_of("ecology", "tiny", 0)
+        lod_cluster.arm_chaos(
+            owner, "cluster.worker.request", sleep=0.5, times=1
+        )
+        results: list[dict] = []
+
+        def _one():
+            results.append(lod_cluster.layout(dict(body)))
+
+        threads = [threading.Thread(target=_one) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert len(results) == 4
+        statuses = sorted(r["status"] for r in results)
+        assert statuses.count("coalesced") >= 1
+        # Followers relay the leader's payload verbatim (bar status):
+        # same fingerprint, same quality_tier.
+        assert len({r["fingerprint"] for r in results}) == 1
+        assert len({r["quality_tier"] for r in results}) == 1
+        _poll_to_full(lod_cluster, body)
+
+    def test_lod_mode_splits_coalescing_flights(self, lod_cluster):
+        on = {"graph": "barth", **TINY, "lod": "auto"}
+        off = {"graph": "barth", **TINY}
+        assert (
+            ClusterRouter._coalesce_key(on)
+            != ClusterRouter._coalesce_key(off)
+        )
+
+    def test_placement_stats_and_affinity(self, lod_cluster):
+        lod_cluster.layout(
+            {"graph": "barth", **TINY, "include_coords": False}
+        )
+        stats = lod_cluster.stats()
+        assert stats["placement"]["policy"] == "lpt"
+        assert stats["placement"]["keys"] >= 1
+        assert set(stats["placement"]["load"]) == {"0", "1"}
+        # Sticky affinity: the owner never changes between requests.
+        owner = lod_cluster.owner_of("barth", "tiny", 0)
+        for _ in range(3):
+            lod_cluster.layout(
+                {"graph": "barth", **TINY, "include_coords": False}
+            )
+            assert lod_cluster.owner_of("barth", "tiny", 0) == owner
+
+    def test_get_layout_polling_route(self, lod_cluster):
+        srv = make_cluster_server(lod_cluster, port=0).start()
+        try:
+            url = (
+                srv.url + "/layout?graph=barth&scale=tiny&s=6&lod=auto"
+                "&include_coords=false"
+            )
+            with urllib.request.urlopen(url, timeout=60) as r:
+                payload = json.loads(r.read())
+            assert "quality_tier" in payload and "coords" not in payload
+            bad = srv.url + "/layout?graph=barth&bogus=1"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(bad, timeout=30)
+            assert err.value.code == 400
+        finally:
+            srv.shutdown()
