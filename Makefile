@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke lod-smoke examples results clean
+.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke lod-smoke kernels-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -50,6 +50,12 @@ cluster-smoke:
 # tier convergence to "full" over HTTP polling, counters accounted.
 lod-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/lod_smoke.py
+
+# Batched-kernel acceptance: 10-source BFS on a >=100k-vertex random
+# graph must return bitwise-identical distances via the frontier-matrix
+# kernel while beating per-source by >=2x modeled and >=3x wall-clock.
+kernels-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_kernels.py --quick
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

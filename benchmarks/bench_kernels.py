@@ -10,6 +10,8 @@ import numpy as np
 import pytest
 
 from repro.bfs import bfs_distances, bfs_topdown_only
+from repro.bfs.batched import run_sources_batched
+from repro.bfs.runner import run_sources
 from repro.core.pivots import select_and_traverse
 from repro.graph import adjacency_gaps, miss_rate
 from repro.linalg import d_orthogonalize, jacobi_eigh, laplacian_spmm
@@ -85,3 +87,77 @@ def test_kernel_gap_analysis(benchmark, kron):
 
     gaps, mr = benchmark(run)
     assert 0 <= mr <= 1
+
+
+def test_kernel_multi_bfs_per_source(benchmark, kron):
+    sources = np.arange(10, dtype=np.int64)
+    res = benchmark(run_sources, kron, sources)
+    assert res.distances.shape == (kron.n, 10)
+
+
+def test_kernel_multi_bfs_batched(benchmark, kron):
+    sources = np.arange(10, dtype=np.int64)
+    res = benchmark(run_sources_batched, kron, sources)
+    assert res.distances.shape == (kron.n, 10)
+
+
+# ---------------------------------------------------------------------------
+# `python bench_kernels.py --quick` — the kernels-smoke acceptance gate.
+#
+# Runs 10-source traversal both ways on a >=100k-vertex random graph,
+# checks bitwise distance parity, and asserts the batched kernel beats
+# per-source by >=2x in *modeled* time (BRIDGES_RSM, p=28) and >=3x in
+# wall-clock.  Wired into CI via `make kernels-smoke`.
+# ---------------------------------------------------------------------------
+
+def kernels_quick(scale: int = 17, degree: int = 64, s: int = 10) -> int:
+    import time
+
+    from repro.graph import preprocess, uniform_random
+    from repro.parallel import BRIDGES_RSM, Ledger, simulate_ledger
+
+    t0 = time.perf_counter()
+    g = preprocess(uniform_random(scale, degree=degree, seed=1),
+                   name="kernels-smoke")
+    print(f"graph: n={g.n} m={g.nnz} "
+          f"(built in {time.perf_counter() - t0:.1f}s)", flush=True)
+    assert g.n >= 100_000, "smoke graph must have >=100k vertices"
+    sources = np.arange(s, dtype=np.int64)
+
+    led_p = Ledger()
+    t0 = time.perf_counter()
+    with led_p.phase("BFS"):
+        ref = run_sources(g, sources, ledger=led_p)
+    wall_p = time.perf_counter() - t0
+
+    led_b = Ledger()
+    t0 = time.perf_counter()
+    with led_b.phase("BFS"):
+        res = run_sources_batched(g, sources, ledger=led_b)
+    wall_b = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(res.distances, ref.distances)
+    for a, b in zip(res.stats, ref.stats):
+        assert a.directions == b.directions
+        assert a.edges_examined == b.edges_examined
+
+    sim_p = simulate_ledger(led_p, BRIDGES_RSM, 28)
+    sim_b = simulate_ledger(led_b, BRIDGES_RSM, 28)
+    wall_x = wall_p / wall_b
+    sim_x = sim_p / sim_b
+    print(f"per-source: wall {wall_p:.2f}s  modeled {sim_p:.3f}s")
+    print(f"batched:    wall {wall_b:.2f}s  modeled {sim_b:.3f}s")
+    print(f"speedup:    wall {wall_x:.1f}x  modeled {sim_x:.2f}x")
+    assert sim_x >= 2.0, f"modeled speedup {sim_x:.2f}x < 2x"
+    assert wall_x >= 3.0, f"wall-clock speedup {wall_x:.1f}x < 3x"
+    print("kernels-smoke: OK (distances bitwise equal, speedups hold)")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--quick" in sys.argv:
+        sys.exit(kernels_quick())
+    sys.exit("usage: bench_kernels.py --quick "
+             "(pytest runs the benchmark tests)")

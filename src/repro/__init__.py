@@ -35,6 +35,7 @@ from . import (
     stream,
 )
 from .core import (
+    KernelConfig,
     LayoutResult,
     laplacian_layout,
     parhde,
@@ -61,6 +62,7 @@ __all__ = [
     "zoom_layout",
     "stress_majorization",
     "multilevel_layout",
+    "KernelConfig",
     "LayoutResult",
     "CSRGraph",
     "from_edges",

@@ -1,5 +1,6 @@
 """Level-synchronous parallel BFS with direction optimization (GAP-style)."""
 
+from .batched import batched_bfs_distances, run_sources_batched
 from .bottomup import bottomup_step
 from .direction_optimizing import (
     ALPHA,
@@ -7,6 +8,7 @@ from .direction_optimizing import (
     BFSStats,
     bfs_distances,
     bfs_topdown_only,
+    graph_miss_rate,
 )
 from .frontier import UNVISITED, bitmap_to_queue, gather_neighbors, queue_to_bitmap
 from .parents import bfs_parents, validate_bfs_tree
@@ -26,6 +28,9 @@ __all__ = [
     "BFSStats",
     "bfs_distances",
     "bfs_topdown_only",
+    "batched_bfs_distances",
+    "run_sources_batched",
+    "graph_miss_rate",
     "bfs_parents",
     "validate_bfs_tree",
     "LevelTrace",

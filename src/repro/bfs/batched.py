@@ -1,0 +1,371 @@
+"""Batched frontier-matrix multi-source BFS.
+
+The per-source path (:mod:`repro.bfs.runner`) advances ``s`` pivot
+traversals one after another, each paying its own Python-level sweep,
+its own adjacency gathers and its own per-level fork-join regions.  The
+distributed-memory BFS literature (Buluç & Madduri) observes that
+multi-source traversal is naturally a frontier-*matrix* computation:
+keep an ``(n, s)`` boolean frontier matrix and advance every traversal
+one level per sweep with a handful of vectorized CSR operations shared
+by all ``s`` columns.
+
+This module implements that sweep with *bitwise parity* against ``s``
+independent :func:`~repro.bfs.direction_optimizing.bfs_distances` runs:
+
+* identical ``int32`` distances (``-1`` for unreachable vertices),
+* per-column direction optimization from the same alpha/beta heuristic
+  (each column switches top-down/bottom-up independently, driven by its
+  own ``edges_unexplored`` bookkeeping),
+* identical per-column :class:`~repro.bfs.direction_optimizing.BFSStats`
+  (levels, direction sequence, top-down edge counts, bottom-up
+  early-exit scan counts, reached counts).
+
+The machine-model pricing is where the sweep wins: one fork-join region
+per *direction group* per level instead of one per source per level, a
+single shared adjacency gather over the union frontier (``TD_OPS`` per
+union edge, not per column-edge), and irregular ``dist`` row accesses
+that touch one cache line for *all* ``s`` columns (the ``(n, s)``
+distance matrix is row-major and ``s * 4`` bytes fits a line for the
+paper's ``s = 10``).  The dense per-edge-per-column value matrices the
+sweep materializes are charged as SIMD streaming work
+(:func:`~repro.parallel.primitives.segmented_matrix_cost`) plus one
+sort-based scatter (:func:`~repro.parallel.primitives.sort_cost`), both
+far cheaper than scalar traversal work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..parallel.costs import KernelCost, Ledger
+from ..parallel.primitives import (
+    F64,
+    I32,
+    I64,
+    map_cost,
+    segmented_matrix_cost,
+    sort_cost,
+)
+from .bottomup import BU_OPS
+from .direction_optimizing import ALPHA, BETA, BFSStats, _locality
+from .frontier import gather_neighbors
+from .runner import MultiSourceResult, _sub
+from .topdown import TD_OPS, chunk_depth, sched_chunk
+
+__all__ = ["batched_bfs_distances", "run_sources_batched"]
+
+
+def _topdown_level(
+    g: CSRGraph,
+    rows: np.ndarray,
+    F: np.ndarray,
+    td_cols: np.ndarray,
+    dist: np.ndarray,
+    level: int,
+    miss: float,
+) -> tuple[np.ndarray, np.ndarray, KernelCost]:
+    """One push level for every top-down column at once.
+
+    Returns ``(targets, discovered, cost)`` where ``targets`` is the
+    sorted union of vertices discovered by *any* column this level and
+    ``discovered[i, t]`` says whether ``targets[i]`` was discovered by
+    column ``td_cols[t]``.  ``dist`` is updated in place.
+    """
+    row_mask = F[:, td_cols].any(axis=1)
+    td_rows = rows[row_mask]
+    Ftd = F[np.ix_(row_mask, td_cols)]
+    nbrs, counts, _ = gather_neighbors(g, td_rows)
+    E = len(nbrs)
+    if E == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, np.zeros((0, len(td_cols)), dtype=bool), KernelCost(regions=1)
+
+    # (E, T) membership: edge e (out of td_rows[i]) belongs to column t's
+    # traversal iff td_rows[i] is in column t's frontier.
+    V = Ftd[np.repeat(np.arange(len(td_rows)), counts)]
+    # (E, T) unvisited: the dist *row* gather is the shared irregular
+    # access — one cache line serves all columns.
+    U = dist[nbrs][:, td_cols] < 0
+    hit = V & U
+
+    # Scatter: every hit writes the same value, so duplicate (target,
+    # column) hits are idempotent and need no dedup before the write —
+    # the race-free formulation of the level-synchronous relaxation.
+    # One masked write per column avoids materializing the (edge, column)
+    # hit-pair index arrays; the bitmap scatter + scan dedups targets in
+    # O(E + n) with the output already sorted.
+    T = len(td_cols)
+    seen = np.zeros(g.n, dtype=bool)
+    hits = 0
+    for t in range(T):
+        tgt = nbrs[hit[:, t]]
+        hits += len(tgt)
+        dist[tgt, td_cols[t]] = level
+        seen[tgt] = True
+    targets = np.flatnonzero(seen)
+    # A (target, column) pair was discovered this level iff its dist
+    # cell just became `level` (cells are written at most once).
+    discovered = dist[targets][:, td_cols] == level
+
+    base = sort_cost(hits) + segmented_matrix_cost(E, T, passes=3.0)
+    cost = KernelCost(
+        # One shared scan of the union frontier's adjacency — the edge
+        # work is paid once, not once per column.
+        work=TD_OPS * E + 8.0 * (len(td_rows) + len(targets)),
+        flops=base.flops,
+        depth=chunk_depth(counts, sched_chunk(g.n), TD_OPS) + base.depth,
+        bytes_streamed=len(td_rows) * 3 * I64 + E * I32 + base.bytes_streamed,
+        # dist rows probed per edge + written per discovered vertex; each
+        # is one line covering all s columns (row-major (n, s) int32).
+        random_lines=(E + len(targets)) * miss,
+        regions=1,
+    )
+    return targets.astype(np.int64), discovered, cost
+
+
+def _bottomup_level(
+    g: CSRGraph,
+    rows: np.ndarray,
+    F: np.ndarray,
+    bu_cols: np.ndarray,
+    dist: np.ndarray,
+    level: int,
+    miss: float,
+    stats: list[BFSStats],
+) -> tuple[np.ndarray, np.ndarray, KernelCost]:
+    """One pull level for every bottom-up column at once.
+
+    Candidates are the union over bottom-up columns of unvisited
+    vertices; per-column candidacy masks keep the early-exit scan counts
+    bitwise-equal to independent :func:`bottomup_step` runs (segment
+    positions are adjacency-local, so a vertex's first-hit position does
+    not depend on which candidate set it was gathered with).  Updates
+    ``dist`` and the per-column ``edges_bottomup`` stats in place.
+    """
+    B = len(bu_cols)
+    M_full = dist[:, bu_cols] < 0  # (n, B) per-column candidacy
+    cand = np.flatnonzero(M_full.any(axis=1)).astype(np.int64)
+    C = len(cand)
+    if C == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, np.zeros((0, B), dtype=bool), KernelCost(regions=1)
+    starts = g.indptr[cand].astype(np.int64)
+    counts = g.indptr[cand + 1].astype(np.int64) - starts
+
+    # Dense frontier bitmaps for the pull probes, one column each.
+    Fb = np.zeros((g.n, B), dtype=bool)
+    Fb[rows] = F[:, bu_cols]
+
+    # Position-blocked early-exit pull: iteration k probes the k-th
+    # neighbor of every candidate that still has an unresolved column.
+    # A (vertex, column) pair exits at its first frontier hit, so the
+    # element work is the *true* early-exit volume — the same quantity
+    # bottomup_step charges — rather than the full adjacency volume the
+    # (E, B) segmented-reduction formulation would stream.
+    alive = M_full[cand]  # (C, B); a pair dies on hit or list exhaustion
+    found = np.zeros((C, B), dtype=bool)
+    scanned_per_col = np.zeros(B, dtype=np.int64)
+    probes = 0  # union edge probes actually issued (cost model)
+    act = np.flatnonzero(counts > 0)
+    act = act[alive[act].any(axis=1)]
+    k = 0
+    cap = 64  # switch to bulk suffix scan for the skewed-degree tail
+    while len(act) and k < cap:
+        act = act[counts[act] > k]
+        if len(act) == 0:
+            break
+        probe = Fb[g.indices[starts[act] + k]]  # (A, B)
+        al = alive[act]
+        scanned_per_col += al.sum(axis=0)  # every alive pair scans edge k
+        probes += len(act)
+        found[act] |= al & probe
+        still = al & ~probe
+        alive[act] = still
+        act = act[still.any(axis=1)]
+        k += 1
+    if len(act):
+        act = act[counts[act] > k]  # exhausted rows contributed in full
+    if len(act):
+        # High-degree stragglers: finish their adjacency suffixes with
+        # one fused segmented reduction (encode each edge as its reversed
+        # in-suffix position, zero non-hits, segment max ⇒ found + first).
+        rem = counts[act] - k
+        off = np.repeat(starts[act] + k, rem)
+        local = np.arange(len(off), dtype=np.int64) - np.repeat(
+            np.cumsum(rem) - rem, rem
+        )
+        H = Fb[g.indices[off + local]]  # (E', B)
+        rev = (np.repeat(rem, rem) - local).astype(np.int64)
+        val = np.where(H, rev[:, None], 0)
+        ne_starts = np.cumsum(rem) - rem
+        maxrev = np.maximum.reduceat(val, ne_starts, axis=0)
+        if maxrev.ndim == 1:
+            maxrev = maxrev[:, None]
+        hit_suffix = maxrev > 0
+        scanned_suffix = np.where(hit_suffix, rem[:, None] - maxrev + 1, rem[:, None])
+        al = alive[act]
+        scanned_per_col += (al * scanned_suffix).sum(axis=0)
+        probes += int(len(off))
+        found[act] |= al & hit_suffix
+        alive[act] = al & ~hit_suffix
+
+    for t, c in enumerate(bu_cols):
+        stats[c].edges_bottomup += int(scanned_per_col[t])
+
+    ci, cc = np.nonzero(found)
+    dist[cand[ci], bu_cols[cc]] = level
+
+    keep = found.any(axis=1)
+    base = segmented_matrix_cost(probes, B, passes=3.0, flops_per_elem=1.5)
+    cost = KernelCost(
+        # Union scan with per-pair early exit — the probes the idealized
+        # pull kernel would actually issue.
+        work=BU_OPS * probes + 3.0 * C,
+        flops=base.flops,
+        depth=chunk_depth(counts, sched_chunk(g.n), BU_OPS) + base.depth,
+        bytes_streamed=(
+            g.n * B * I32  # candidate scan over the dist columns
+            + C * I64
+            + probes * I32
+            + base.bytes_streamed
+        ),
+        # One frontier-bitmap row probe per scanned edge, shared by all
+        # columns (the (n, B) bitmap row is B bytes, under one line).
+        random_lines=probes * miss,
+        regions=1,
+    )
+    return cand[keep], found[keep], cost
+
+
+def batched_bfs_distances(
+    g: CSRGraph,
+    sources: np.ndarray,
+    *,
+    ledger: Ledger | None = None,
+    miss: float | None = None,
+    alpha: float = ALPHA,
+    beta: float = BETA,
+) -> tuple[np.ndarray, list[BFSStats]]:
+    """Distances from every source at once, one frontier-matrix sweep.
+
+    Returns ``(dist, stats)`` with ``dist`` an ``int32[n, s]`` matrix
+    (column ``i`` = hop counts from ``sources[i]``, ``-1`` unreachable)
+    and one :class:`BFSStats` per column.  Both are bitwise-equal to
+    ``s`` independent :func:`bfs_distances` runs; only the recorded
+    :class:`KernelCost` differs (the whole point — see the module
+    docstring for what the batched sweep is charged).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    s = len(sources)
+    if s == 0:
+        raise ValueError("need at least one source")
+    if sources.min() < 0 or sources.max() >= g.n:
+        bad = sources[(sources < 0) | (sources >= g.n)][0]
+        raise ValueError(f"source {int(bad)} out of range")
+    miss = _locality(g, miss)
+    n = g.n
+    deg = g.degrees.astype(np.int64)
+
+    dist = np.full((n, s), -1, dtype=np.int32)
+    cols = np.arange(s)
+    dist[sources, cols] = 0
+    stats = [BFSStats(source=int(src)) for src in sources]
+    edges_unexplored = (g.nnz - deg[sources]).astype(np.float64)
+    bottom_up = np.zeros(s, dtype=bool)  # per-column direction state
+
+    rows = np.unique(sources)
+    F = np.zeros((len(rows), s), dtype=bool)
+    F[np.searchsorted(rows, sources), cols] = True
+
+    level = 0
+    while len(rows):
+        level += 1
+        degr = deg[rows]
+        active = F.any(axis=0)
+        frontier_edges = degr @ F  # per-column frontier edge volume
+        frontier_size = F.sum(axis=0)
+
+        # Per-column Beamer heuristic — the exact branch structure of
+        # bfs_distances (td->bu and bu->td are mutually exclusive).
+        if np.isfinite(alpha):
+            to_bu = active & ~bottom_up & (frontier_edges > edges_unexplored / alpha)
+        else:
+            to_bu = np.zeros(s, dtype=bool)
+        to_td = active & bottom_up & (frontier_size < n / beta)
+        bottom_up[to_bu] = True
+        bottom_up[to_td] = False
+
+        td_cols = np.flatnonzero(active & ~bottom_up)
+        bu_cols = np.flatnonzero(active & bottom_up)
+
+        pieces: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        if len(td_cols):
+            targets, disc, cost = _topdown_level(
+                g, rows, F, td_cols, dist, level, miss
+            )
+            pieces.append((targets, disc, td_cols))
+            if ledger is not None:
+                ledger.add(cost)
+        if len(bu_cols):
+            targets, disc, cost = _bottomup_level(
+                g, rows, F, bu_cols, dist, level, miss, stats
+            )
+            pieces.append((targets, disc, bu_cols))
+            if ledger is not None:
+                ledger.add(cost)
+
+        for c in td_cols:
+            stats[c].edges_topdown += int(frontier_edges[c])
+        for c in np.flatnonzero(active):
+            stats[c].directions.append("bu" if bottom_up[c] else "td")
+            stats[c].levels += 1
+        edges_unexplored[active] -= frontier_edges[active]
+
+        # Rebuild the (rows, F) frontier from this level's discoveries.
+        # Each piece's targets are already sorted; merging two sorted
+        # lists is the only case that needs a union.
+        if not pieces:
+            new_rows = np.zeros(0, dtype=np.int64)
+        elif len(pieces) == 1:
+            new_rows = pieces[0][0]
+        else:
+            new_rows = np.union1d(pieces[0][0], pieces[1][0])
+        F = np.zeros((len(new_rows), s), dtype=bool)
+        for targets, disc, group in pieces:
+            if len(targets) == 0:
+                continue
+            idx = np.searchsorted(new_rows, targets)
+            F[idx[:, None], group[None, :]] = disc
+        keep = F.any(axis=1)
+        rows = new_rows[keep]
+        F = F[keep]
+
+    for c in range(s):
+        stats[c].reached = int(np.count_nonzero(dist[:, c] >= 0))
+    return dist, stats
+
+
+def run_sources_batched(
+    g: CSRGraph,
+    sources: np.ndarray,
+    *,
+    ledger: Ledger | None = None,
+    subphase: str = "traversal",
+) -> MultiSourceResult:
+    """Batched drop-in for :func:`~repro.bfs.runner.run_sources`.
+
+    Same ``(n, s)`` float64 distance matrix and per-column stats, one
+    frontier-matrix sweep instead of ``s`` sequential traversals.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    dist, stats = batched_bfs_distances(g, sources, ledger=_sub(ledger, subphase))
+    B = dist.astype(np.float64)
+    if ledger is not None:
+        # Write-back of the whole distance matrix into B (one pass,
+        # versus one per column on the per-source path).
+        ledger.add(
+            map_cost(g.n * len(sources), flops_per_elem=1.0, bytes_per_elem=I32 + F64),
+            subphase=subphase,
+        )
+    return MultiSourceResult(B, sources, stats)

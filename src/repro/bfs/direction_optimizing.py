@@ -15,6 +15,7 @@ benchmarks can show the measured work-reduction factor ``gamma``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,10 +27,24 @@ from .bottomup import bottomup_step
 from .frontier import bitmap_to_queue, queue_to_bitmap
 from .topdown import topdown_step
 
-__all__ = ["BFSStats", "bfs_distances", "bfs_topdown_only", "bfs_sequential_cost"]
+__all__ = [
+    "BFSStats",
+    "bfs_distances",
+    "bfs_topdown_only",
+    "bfs_sequential_cost",
+    "graph_miss_rate",
+]
 
 ALPHA = 15.0
 BETA = 18.0
+
+#: Guards the per-graph miss-rate memo: concurrent traversals sharing one
+#: CSRGraph (random-concurrent pivots, the serving engine's thread pool)
+#: must not each recompute the gap analysis, and a racy double-write of
+#: ``g._cache["miss_rate"]`` would make concurrently recorded costs
+#: disagree about locality mid-run.  One process-wide lock is enough: the
+#: computation is rare (once per graph) and cheap relative to a traversal.
+_MISS_LOCK = threading.Lock()
 
 
 @dataclass
@@ -52,14 +67,30 @@ class BFSStats:
         return self.edges_examined / (2 * m) if m else 0.0
 
 
+def graph_miss_rate(g: CSRGraph) -> float:
+    """Memoized DRAM miss-rate estimate of ``g`` (thread-safe).
+
+    Computed once per graph under a lock and shared by every traversal —
+    the ``s`` columns of a batched sweep, concurrent per-source runs on
+    the engine's pool — so all of them price irregular accesses with the
+    same locality number.
+    """
+    cached = g._cache.get("miss_rate")
+    if cached is not None:
+        return cached
+    with _MISS_LOCK:
+        cached = g._cache.get("miss_rate")
+        if cached is None:
+            from ..graph.gaps import miss_rate
+
+            cached = g._cache["miss_rate"] = miss_rate(g)
+    return cached
+
+
 def _locality(g: CSRGraph, miss: float | None) -> float:
     if miss is not None:
         return miss
-    if "miss_rate" not in g._cache:
-        from ..graph.gaps import miss_rate
-
-        g._cache["miss_rate"] = miss_rate(g)
-    return g._cache["miss_rate"]
+    return graph_miss_rate(g)
 
 
 def bfs_distances(

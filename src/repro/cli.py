@@ -126,6 +126,27 @@ def main(argv: list[str] | None = None) -> int:
     p_layout.add_argument("--algo", default="parhde", choices=sorted(_ALGOS))
     p_layout.add_argument("-s", "--subspace", type=int, default=10)
     p_layout.add_argument("--pivots", default="kcenters")
+    p_layout.add_argument(
+        "--traversal",
+        default="per-source",
+        choices=("per-source", "batched"),
+        help="BFS backend: per-source (seed behaviour) or the batched"
+        " frontier-matrix multi-source sweep (unweighted only)",
+    )
+    p_layout.add_argument(
+        "--subspace-method",
+        default="deterministic",
+        choices=("deterministic", "randomized"),
+        help="subspace-refinement kernel used when --rounds > 0"
+        " (parhde only)",
+    )
+    p_layout.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        help="subspace-refinement rounds between DOrtho and TripleProd"
+        " (parhde only; 0 = skip)",
+    )
     p_layout.add_argument("--coords-out", help="write x y per line")
     p_layout.add_argument(
         "--save-layout",
@@ -385,6 +406,15 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {}
         if args.algo == "parhde":
             kwargs["pivots"] = args.pivots
+        if args.traversal != "per-source":
+            kwargs["traversal"] = args.traversal
+        if args.rounds or args.subspace_method != "deterministic":
+            if args.algo != "parhde":
+                parser.error(
+                    "--rounds/--subspace-method require --algo parhde"
+                )
+            kwargs["rounds"] = args.rounds
+            kwargs["subspace"] = args.subspace_method
         ckpt = None
         if getattr(args, "checkpoint", None):
             if args.algo != "parhde":
@@ -403,6 +433,17 @@ def main(argv: list[str] | None = None) -> int:
                     s=args.subspace,
                     seed=args.seed,
                     pivots=args.pivots,
+                    # Only non-default kernel knobs enter the identity so
+                    # pre-existing checkpoints keep their keys.
+                    **{
+                        k: v
+                        for k, v in dict(
+                            traversal=args.traversal,
+                            subspace=args.subspace_method,
+                            rounds=args.rounds,
+                        ).items()
+                        if v not in ("per-source", "deterministic", 0)
+                    },
                 ),
             )
             kwargs["checkpoint"] = ckpt

@@ -1,9 +1,10 @@
 """Core layout algorithms: ParHDE, PHDE, PivotMDS, and extensions."""
 
 from .hde import parhde
+from .kernels import SUBSPACE_METHODS, KernelConfig
 from .phde import phde
 from .pivotmds import double_center, pivotmds
-from .pivots import STRATEGIES, random_pivots, select_and_traverse
+from .pivots import TRAVERSALS, STRATEGIES, random_pivots, select_and_traverse
 from .refine import RefineResult, centroid_sweep, refine, residual
 from .serialize import load_layout, save_layout
 from .subspace_iteration import parhde_refined_subspace, subspace_iterate
@@ -21,7 +22,10 @@ __all__ = [
     "phde",
     "pivotmds",
     "double_center",
+    "KernelConfig",
     "STRATEGIES",
+    "TRAVERSALS",
+    "SUBSPACE_METHODS",
     "random_pivots",
     "select_and_traverse",
     "LayoutResult",

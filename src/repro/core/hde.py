@@ -48,6 +48,7 @@ from ..validate import (
     check_eigenpairs,
     check_laplacian_identity,
 )
+from .kernels import KernelConfig
 from .pivots import select_and_traverse
 from .result import LayoutResult
 
@@ -60,11 +61,15 @@ def parhde(
     *,
     dims: int = 2,
     seed: int = 0,
-    pivots: str = "kcenters",
-    ortho: str = "D",
-    gs_method: str = "mgs",
-    project_basis: str = "S",
-    drop_tol: float = 1e-3,
+    kernels: KernelConfig | dict | None = None,
+    pivots: str | None = None,
+    ortho: str | None = None,
+    gs_method: str | None = None,
+    project_basis: str | None = None,
+    drop_tol: float | None = None,
+    traversal: str | None = None,
+    subspace: str | None = None,
+    rounds: int | None = None,
     weighted: bool = False,
     weight_interpretation: str = "distance",
     delta: float | None = None,
@@ -86,6 +91,12 @@ def parhde(
         10 for timing tables and notes 50 is a common quality choice.
     dims:
         Number of layout axes (2 for screen drawings).
+    kernels:
+        A :class:`~repro.core.kernels.KernelConfig` (or an equivalent
+        dict) selecting every kernel of the pipeline in one object —
+        the preferred spelling.  The individual kwargs below remain
+        accepted and are merged onto it; an explicit kwarg that
+        contradicts an explicit config field raises ``ValueError``.
     pivots:
         ``"kcenters"`` (default), ``"random"`` or ``"random-concurrent"``.
     ortho:
@@ -96,6 +107,18 @@ def parhde(
     project_basis:
         ``"S"`` projects through the orthonormal basis (Koren's
         derivation); ``"B"`` follows the paper's pseudocode literally.
+    traversal:
+        ``"per-source"`` (default) or ``"batched"`` — run the BFS phase
+        through the frontier-matrix multi-source sweep
+        (:mod:`repro.bfs.batched`).  Unweighted graphs only.
+    subspace / rounds:
+        Optional subspace refinement between DOrtho and TripleProd:
+        ``rounds`` walk-operator applications with ``"deterministic"``
+        per-round re-orthonormalization or the ``"randomized"``
+        range-finding kernel (one final orthonormalization;
+        :mod:`repro.linalg.randomized`).  ``rounds=0`` (default) skips
+        refinement; ``rounds > 0`` requires ``ortho="D"`` and
+        ``project_basis="S"`` (the refinement lives in D-geometry).
     weighted:
         Use Delta-stepping SSSP distances; requires ``g.is_weighted``.
     weight_interpretation:
@@ -149,10 +172,22 @@ def parhde(
         raise ValueError(
             "weight_interpretation must be 'distance' or 'similarity'"
         )
-    if ortho not in ("D", "plain"):
-        raise ValueError(f"ortho must be 'D' or 'plain', got {ortho!r}")
-    if project_basis not in ("S", "B"):
-        raise ValueError("project_basis must be 'S' or 'B'")
+    cfg = KernelConfig.resolve(
+        kernels,
+        pivots=pivots,
+        ortho=ortho,
+        gs_method=gs_method,
+        project_basis=project_basis,
+        drop_tol=drop_tol,
+        traversal=traversal,
+        subspace=subspace,
+        rounds=rounds,
+    )
+    if cfg.rounds > 0 and (cfg.ortho != "D" or cfg.project_basis != "S"):
+        raise ValueError(
+            "subspace refinement (rounds > 0) requires ortho='D' and"
+            " project_basis='S' — the refinement operates in D-geometry"
+        )
     policy = ValidationPolicy.coerce(validate)
     led = ledger if ledger is not None else Ledger()
 
@@ -174,7 +209,8 @@ def parhde(
             ms = select_and_traverse(
                 g_traverse,
                 s,
-                strategy=pivots,
+                strategy=cfg.pivots,
+                traversal=cfg.traversal,
                 seed=seed,
                 ledger=led,
                 weighted=weighted,
@@ -198,7 +234,7 @@ def parhde(
         )
 
     # Phase 2: D-orthogonalization.
-    d = g.weighted_degrees if ortho == "D" else None
+    d = g.weighted_degrees if cfg.ortho == "D" else None
     restored = checkpoint.load("dortho") if checkpoint is not None else None
     if restored is not None:
         S = restored["S"]
@@ -209,7 +245,7 @@ def parhde(
         with led.phase("DOrtho"), phase_scope(deadline, "DOrtho"):
             failpoint("parhde.dortho")
             ores = d_orthogonalize(
-                B, d, method=gs_method, drop_tol=drop_tol, ledger=led
+                B, d, method=cfg.gs_method, drop_tol=cfg.drop_tol, ledger=led
             )
         S, kept, dropped = ores.S, ores.kept, ores.dropped
         if checkpoint is not None:
@@ -227,6 +263,23 @@ def parhde(
     if policy.enabled:
         policy.handle(check_d_orthogonality(S, d, tol=policy.ortho_tol))
 
+    # Optional subspace refinement (kernels.rounds > 0): rotate the basis
+    # toward the walk operator's dominant eigenvectors before projecting.
+    if cfg.rounds > 0:
+        from .subspace_iteration import subspace_iterate
+
+        with led.phase("SubspaceIter"), phase_scope(deadline, "SubspaceIter"):
+            S = subspace_iterate(
+                g, S, cfg.rounds, method=cfg.subspace, ledger=led
+            )
+        if S.shape[1] < dims:
+            raise ValueError(
+                f"subspace refinement left only {S.shape[1]} independent"
+                f" columns; reduce rounds or increase s (got s={s})"
+            )
+        if policy.enabled:
+            policy.handle(check_d_orthogonality(S, d, tol=policy.ortho_tol))
+
     # Phase 3: TripleProd — P = L S, then Z = S' P.
     with led.phase("TripleProd"), phase_scope(deadline, "TripleProd"):
         failpoint("parhde.tripleprod")
@@ -243,7 +296,7 @@ def parhde(
     with led.phase("Other"), phase_scope(deadline, "Other"):
         failpoint("parhde.eigensolve")
         evals, Y = extreme_eigenpairs(Z, dims, which="smallest")
-        basis = S if project_basis == "S" else B[:, kept]
+        basis = S if cfg.project_basis == "S" else B[:, kept]
         coords = basis @ Y
         led.add(
             map_cost(
@@ -269,10 +322,14 @@ def parhde(
             s=s,
             dims=dims,
             seed=seed,
-            pivots=pivots,
-            ortho=ortho,
-            gs_method=gs_method,
-            project_basis=project_basis,
+            pivots=cfg.pivots,
+            ortho=cfg.ortho,
+            gs_method=cfg.gs_method,
+            project_basis=cfg.project_basis,
+            drop_tol=cfg.drop_tol,
+            traversal=cfg.traversal,
+            subspace=cfg.subspace,
+            rounds=cfg.rounds,
             weighted=weighted,
             weight_interpretation=weight_interpretation,
             delta=delta,

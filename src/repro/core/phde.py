@@ -37,6 +37,7 @@ def phde(
     dims: int = 2,
     seed: int = 0,
     pivots: str = "kcenters",
+    traversal: str = "per-source",
     weighted: bool = False,
     delta: float | None = None,
     ledger: Ledger | None = None,
@@ -50,8 +51,8 @@ def phde(
 
     with led.phase("BFS"):
         ms = select_and_traverse(
-            g, s, strategy=pivots, seed=seed, ledger=led,
-            weighted=weighted, delta=delta,
+            g, s, strategy=pivots, traversal=traversal, seed=seed,
+            ledger=led, weighted=weighted, delta=delta,
         )
     B = ms.distances
     if (weighted and not np.all(np.isfinite(B))) or (
@@ -82,7 +83,7 @@ def phde(
         bfs_stats=ms.stats,
         ledger=led,
         params=dict(
-            s=s, dims=dims, seed=seed, pivots=pivots,
+            s=s, dims=dims, seed=seed, pivots=pivots, traversal=traversal,
             weighted=weighted, delta=delta,
         ),
     )

@@ -52,6 +52,7 @@ def pivotmds(
     dims: int = 2,
     seed: int = 0,
     pivots: str = "kcenters",
+    traversal: str = "per-source",
     weighted: bool = False,
     delta: float | None = None,
     ledger: Ledger | None = None,
@@ -65,8 +66,8 @@ def pivotmds(
 
     with led.phase("BFS"):
         ms = select_and_traverse(
-            g, s, strategy=pivots, seed=seed, ledger=led,
-            weighted=weighted, delta=delta,
+            g, s, strategy=pivots, traversal=traversal, seed=seed,
+            ledger=led, weighted=weighted, delta=delta,
         )
     B = ms.distances
     if (weighted and not np.all(np.isfinite(B))) or (
@@ -97,7 +98,7 @@ def pivotmds(
         bfs_stats=ms.stats,
         ledger=led,
         params=dict(
-            s=s, dims=dims, seed=seed, pivots=pivots,
+            s=s, dims=dims, seed=seed, pivots=pivots, traversal=traversal,
             weighted=weighted, delta=delta,
         ),
     )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..bfs.batched import batched_bfs_distances, run_sources_batched
 from ..bfs.direction_optimizing import bfs_distances
 from ..bfs.runner import (
     MultiSourceResult,
@@ -29,9 +30,10 @@ from ..parallel.costs import Ledger
 from ..parallel.primitives import F64, I32, map_cost
 from ..sssp.delta_stepping import delta_stepping
 
-__all__ = ["STRATEGIES", "select_and_traverse", "random_pivots"]
+__all__ = ["STRATEGIES", "TRAVERSALS", "select_and_traverse", "random_pivots"]
 
 STRATEGIES = ("kcenters", "random", "random-concurrent")
+TRAVERSALS = ("per-source", "batched")
 
 
 def random_pivots(g: CSRGraph, s: int, seed: int = 0) -> np.ndarray:
@@ -89,6 +91,79 @@ def _kcenters(
     return MultiSourceResult(B, sources, stats)
 
 
+def _kcenters_batched(
+    g: CSRGraph,
+    s: int,
+    seed: int,
+    ledger: Ledger | None,
+) -> MultiSourceResult:
+    """Farthest-first selection with batched traversal rounds.
+
+    Exact farthest-first forces the traversals to run one at a time
+    (each next source depends on the previous traversal), which is
+    precisely what the batched kernel cannot accelerate.  This variant
+    batches the *legal* parallelism: sources are chosen in rounds of
+    doubling size (1, 1, 2, 4, ...), each round picking the current
+    top-``r`` farthest vertices and traversing them together in one
+    frontier-matrix sweep.  The first two picks match exact
+    farthest-first; later rounds approximate it (all of a round's picks
+    are farthest with respect to the sources chosen *before* the round).
+    Unweighted graphs only.
+    """
+    rng = np.random.default_rng(seed)
+    B = np.empty((g.n, s), dtype=np.float64)
+    sources = np.empty(s, dtype=np.int64)
+    stats = []
+    dmin = np.full(g.n, np.inf)
+    chosen = np.zeros(g.n, dtype=bool)
+    batch = [int(rng.integers(g.n))]
+    filled = 0
+    while filled < s:
+        batch_arr = np.asarray(batch, dtype=np.int64)
+        dist, sts = batched_bfs_distances(
+            g, batch_arr, ledger=_tag(ledger, "traversal")
+        )
+        cols = dist.astype(np.float64)
+        B[:, filled : filled + len(batch)] = cols
+        sources[filled : filled + len(batch)] = batch_arr
+        stats.extend(sts)
+        chosen[batch_arr] = True
+        if ledger is not None:
+            ledger.add(
+                map_cost(
+                    g.n * len(batch),
+                    flops_per_elem=1.0,
+                    bytes_per_elem=I32 + F64,
+                ),
+                subphase="traversal",
+            )
+            # One farthest-first min-update+argmax per round, not per
+            # source — the other half of the batching win.
+            ledger.add(farthest_update_cost(g.n), subphase="overhead")
+        np.minimum(
+            dmin, np.where(cols >= 0, cols, -np.inf).min(axis=1), out=dmin
+        )
+        filled += len(batch)
+        if filled >= s:
+            break
+        r = min(filled, s - filled)
+        avail = np.where(chosen, -np.inf, dmin)
+        top = np.argpartition(avail, -r)[-r:]
+        top = top[np.argsort(avail[top])[::-1]]
+        batch = [int(u) for u in top if avail[u] > 0]
+        if len(batch) < r:
+            # Every reachable vertex is already a source (tiny or
+            # disconnected graph): fall back to unchosen vertices.
+            have = set(batch)
+            for u in range(g.n):
+                if len(batch) == r:
+                    break
+                if not chosen[u] and u not in have:
+                    batch.append(u)
+                    have.add(u)
+    return MultiSourceResult(B, sources, stats)
+
+
 class _TagLedger:
     """Minimal ledger proxy forcing a fixed subphase on recorded costs."""
 
@@ -113,6 +188,7 @@ def select_and_traverse(
     s: int,
     *,
     strategy: str = "kcenters",
+    traversal: str = "per-source",
     seed: int = 0,
     ledger: Ledger | None = None,
     weighted: bool = False,
@@ -132,6 +208,17 @@ def select_and_traverse(
         Random pivots with all traversals running concurrently, one
         sequential BFS per thread (the "Rand. Pivots" column of Table 6).
         Unweighted only.
+
+    Traversal backends
+    ------------------
+    ``"per-source"`` (default) runs the strategies exactly as above.
+    ``"batched"`` executes traversals through the frontier-matrix
+    multi-source sweep (:mod:`repro.bfs.batched`): ``random`` and
+    ``random-concurrent`` keep their pivot sets and distances
+    bitwise-identical (one sweep replaces the loop / the thread pool);
+    ``kcenters`` switches to round-batched farthest-first selection
+    (see :func:`_kcenters_batched`), an approximation whose pivot set
+    may differ.  Unweighted graphs only.
     """
     if s < 1:
         raise ValueError("s must be >= 1")
@@ -139,9 +226,21 @@ def select_and_traverse(
         raise ValueError(f"s={s} exceeds vertex count {g.n}")
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; options: {STRATEGIES}")
+    if traversal not in TRAVERSALS:
+        raise ValueError(
+            f"unknown traversal {traversal!r}; options: {TRAVERSALS}"
+        )
+    if traversal == "batched" and weighted:
+        raise ValueError("batched traversal supports unweighted BFS only")
     if strategy == "kcenters":
+        if traversal == "batched":
+            return _kcenters_batched(g, s, seed, ledger)
         return _kcenters(g, s, seed, ledger, weighted, delta)
     sources = random_pivots(g, s, seed)
+    if traversal == "batched":
+        # One frontier-matrix sweep serves both random strategies: it IS
+        # the concurrent execution, with identical distances and stats.
+        return run_sources_batched(g, sources, ledger=ledger)
     if strategy == "random-concurrent":
         if weighted:
             raise ValueError("concurrent traversal supports unweighted BFS only")

@@ -34,21 +34,9 @@ def _d_orthonormalize_block(
     S: np.ndarray, d: np.ndarray, ledger: Ledger | None = None
 ) -> np.ndarray:
     """MGS D-orthonormalization of a block against 1 and itself."""
-    from ..linalg import blas
+    from ..linalg.randomized import d_orthonormalize_block
 
-    n = S.shape[0]
-    ones = np.full(n, 1.0 / np.sqrt(float(d.sum())))
-    cols: list[np.ndarray] = [ones]
-    for j in range(S.shape[1]):
-        v = S[:, j].copy()
-        for q in cols:
-            coeff = blas.weighted_dot(q, d, v, ledger)
-            blas.axpy(-coeff, q, v, ledger)
-        nrm = blas.weighted_norm(v, d, ledger)
-        if nrm > 1e-10:
-            blas.scale(1.0 / nrm, v, ledger)
-            cols.append(v)
-    return np.column_stack(cols[1:])
+    return d_orthonormalize_block(S, d, ledger)
 
 
 def subspace_iterate(
@@ -56,18 +44,32 @@ def subspace_iterate(
     S: np.ndarray,
     rounds: int = 2,
     *,
+    method: str = "deterministic",
     ledger: Ledger | None = None,
 ) -> np.ndarray:
     """Improve a D-orthonormal subspace by block power iteration.
 
-    Each round applies the lazy walk operator ``(I + D^-1 A)/2`` to every
-    column and re-D-orthonormalizes the block.  Returns a new
-    D-orthonormal basis of the same (or smaller, if rank drops) width.
+    With ``method="deterministic"`` (the default) each round applies the
+    lazy walk operator ``(I + D^-1 A)/2`` to every column and
+    re-D-orthonormalizes the block.  ``method="randomized"`` delegates
+    to :func:`repro.linalg.randomized.randomized_subspace_refine`: the
+    same walk applications but a single final orthonormalization — the
+    cheaper range-finding kernel (``kernels.subspace="randomized"``).
+    Returns a new D-orthonormal basis of the same (or smaller, if rank
+    drops) width.
     """
     if rounds < 0:
         raise ValueError("rounds must be >= 0")
     if S.shape[0] != g.n:
         raise ValueError("basis rows must equal n")
+    if method not in ("deterministic", "randomized"):
+        raise ValueError(
+            f"method must be 'deterministic' or 'randomized', got {method!r}"
+        )
+    if method == "randomized":
+        from ..linalg.randomized import randomized_subspace_refine
+
+        return randomized_subspace_refine(g, S, rounds, ledger=ledger)
     d = g.weighted_degrees
     X = S.astype(np.float64, copy=True)
     for _ in range(rounds):

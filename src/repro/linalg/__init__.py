@@ -17,6 +17,11 @@ from .gram_schmidt import OrthoResult, d_orthogonalize
 from .laplacian import laplacian_quadratic_form, laplacian_spmm, walk_spmm
 from .lobpcg import LOBPCGResult, lobpcg
 from .power_iteration import PowerIterationResult, power_iteration
+from .randomized import (
+    d_orthonormalize_block,
+    randomized_range_finder,
+    randomized_subspace_refine,
+)
 from .spmv import spmm, spmm_cost, spmv
 
 __all__ = [
@@ -41,6 +46,9 @@ __all__ = [
     "lobpcg",
     "PowerIterationResult",
     "power_iteration",
+    "d_orthonormalize_block",
+    "randomized_range_finder",
+    "randomized_subspace_refine",
     "spmm",
     "spmv",
     "spmm_cost",

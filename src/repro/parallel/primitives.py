@@ -31,6 +31,8 @@ __all__ = [
     "axpy_cost",
     "stream_cost",
     "gather_cost",
+    "sort_cost",
+    "segmented_matrix_cost",
     "random_lines_for",
 ]
 
@@ -98,6 +100,55 @@ def axpy_cost(n: float) -> KernelCost:
 def stream_cost(nbytes: float, *, flops: float = 0.0, regions: int = 1) -> KernelCost:
     """Pure streaming sweep over ``nbytes`` of memory."""
     return KernelCost(flops=flops, bytes_streamed=nbytes, regions=regions)
+
+
+def sort_cost(n: float, *, bytes_per_elem: float = I64, regions: int = 0) -> KernelCost:
+    """Parallel comparison sort of ``n`` keys (merge/sample sort shape).
+
+    Used by the batched frontier-matrix sweep to price its sort-based
+    scatter (group the gathered edge targets by destination, then one
+    segmented reduction replaces per-edge atomics).  ``O(n log n)``
+    vectorizable work, ``log^2 n`` combine depth, a few streaming passes
+    over the key array.  ``regions`` defaults to 0 because the sort runs
+    *inside* the caller's per-level fork-join region.
+    """
+    if n <= 1:
+        return KernelCost()
+    lg = math.log2(n)
+    return KernelCost(
+        flops=2.0 * n * lg,
+        depth=lg * lg,
+        bytes_streamed=4.0 * n * bytes_per_elem,
+        regions=regions,
+    )
+
+
+def segmented_matrix_cost(
+    rows: float,
+    cols: float,
+    *,
+    passes: float = 3.0,
+    flops_per_elem: float = 1.0,
+    regions: int = 0,
+) -> KernelCost:
+    """Dense boolean/int8 work on a ``(rows, cols)`` frontier-matrix slab.
+
+    The batched multi-source sweep materializes per-edge-per-source value
+    matrices (one byte per entry) and runs a handful of vectorized passes
+    over them (build, permute, segmented reduce).  The work is SIMD
+    streaming, so it is charged as flops + streamed bytes, not scalar
+    ``work``; depth is the ``log`` combine chain of the segmented
+    reduction.
+    """
+    elems = rows * cols
+    if elems <= 0:
+        return KernelCost()
+    return KernelCost(
+        flops=elems * flops_per_elem,
+        depth=math.log2(rows) if rows > 1 else 1.0,
+        bytes_streamed=passes * elems,  # one byte per boolean entry
+        regions=regions,
+    )
 
 
 def random_lines_for(accesses: float, miss_rate: float) -> float:

@@ -32,6 +32,7 @@ from typing import Any, Callable, Mapping
 
 from .. import datasets
 from ..core import parhde, phde, pivotmds
+from ..core.kernels import KernelConfig
 from ..core.result import LayoutResult
 from ..graph.csr import CSRGraph
 from ..parallel.pool import PoolSaturated, TaskPool
@@ -162,7 +163,33 @@ DEFAULT_ALGORITHMS: dict[str, Callable[..., LayoutResult]] = {
 
 #: Extra keyword parameters a request may pass through to the algorithm.
 _ALLOWED_PARAMS = frozenset(
-    {"dims", "pivots", "ortho", "gs_method", "project_basis", "drop_tol"}
+    {
+        "dims",
+        "pivots",
+        "ortho",
+        "gs_method",
+        "project_basis",
+        "drop_tol",
+        "traversal",
+        "subspace",
+        "rounds",
+        "kernels",
+    }
+)
+
+#: The kernel-selection subset of :data:`_ALLOWED_PARAMS` — canonicalized
+#: through :class:`KernelConfig` before fingerprinting so every spelling
+#: of the same configuration (flat legacy keys, a ``kernels`` mapping, or
+#: both) hashes identically and conflicts are rejected up front.
+_KERNEL_PARAMS = (
+    "pivots",
+    "ortho",
+    "gs_method",
+    "project_basis",
+    "drop_tol",
+    "traversal",
+    "subspace",
+    "rounds",
 )
 
 
@@ -616,6 +643,27 @@ class LayoutEngine:
                 f"unsupported params {sorted(unknown)}; allowed:"
                 f" {sorted(_ALLOWED_PARAMS)}"
             )
+        # Canonicalize kernel selection: a `kernels` mapping and flat
+        # legacy keys both resolve through KernelConfig, then re-emit as
+        # minimal flat keys.  This makes every spelling of the same
+        # configuration fingerprint identically, keeps knob-free requests
+        # on their pre-KernelConfig fingerprints, and surfaces
+        # legacy-vs-kernels conflicts as 400s instead of cache poison.
+        kernels = extra.pop("kernels", None)
+        legacy = {k: extra.pop(k) for k in _KERNEL_PARAMS if k in extra}
+        r = legacy.get("rounds")
+        if isinstance(r, float) and r.is_integer():
+            legacy["rounds"] = int(r)  # JSON numbers may arrive as floats
+        try:
+            cfg = KernelConfig.resolve(kernels, **legacy)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(str(exc)) from exc
+        kparams = cfg.to_params()
+        if "traversal" in kparams:
+            self.telemetry.inc(f"kernels.traversal.{cfg.traversal}")
+        if cfg.rounds or "subspace" in kparams:
+            self.telemetry.inc(f"kernels.subspace.{cfg.subspace}")
+        extra.update(kparams)
         return {"s": s, "seed": int(request.seed), **extra}
 
     @staticmethod
