@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke lod-smoke kernels-smoke examples results clean
+.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke lod-smoke kernels-smoke constraints-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -56,6 +56,12 @@ lod-smoke:
 # kernel while beating per-source by >=2x modeled and >=3x wall-clock.
 kernels-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_kernels.py --quick
+
+# Constrained-serving acceptance: over real HTTP, pin a vertex, POST a
+# drag delta, and require the warm constrained relayout to hold the pin
+# bitwise while costing >=3x less modeled BFS+solve work than cold.
+constraints-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/constraints_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -147,6 +147,28 @@ def main(argv: list[str] | None = None) -> int:
         help="subspace-refinement rounds between DOrtho and TripleProd"
         " (parhde only; 0 = skip)",
     )
+    p_layout.add_argument(
+        "--pin",
+        action="append",
+        default=[],
+        metavar="V:X,Y",
+        help="pin vertex V at coordinates X,Y (repeatable); pinned"
+        " coordinates are held bitwise-fixed while free vertices relax",
+    )
+    p_layout.add_argument(
+        "--mass",
+        action="append",
+        default=[],
+        metavar="V:M",
+        help="give vertex V mass M > 0 (repeatable); the"
+        " orthogonalization weight becomes M*D",
+    )
+    p_layout.add_argument(
+        "--region",
+        metavar="LO:HI,LO:HI",
+        help="bounding box per axis, e.g. '-1:1,-1:1'; free coordinates"
+        " are clamped into it",
+    )
     p_layout.add_argument("--coords-out", help="write x y per line")
     p_layout.add_argument(
         "--save-layout",
@@ -296,6 +318,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_stream.add_argument("-s", "--subspace", type=int, default=10)
     p_stream.add_argument(
+        "--traversal",
+        default="per-source",
+        choices=("per-source", "batched"),
+        help="BFS backend for the initial layout and every full"
+        " relayout (batched = frontier-matrix multi-source sweep)",
+    )
+    p_stream.add_argument(
         "--batch",
         type=int,
         default=1,
@@ -415,6 +444,14 @@ def main(argv: list[str] | None = None) -> int:
                 )
             kwargs["rounds"] = args.rounds
             kwargs["subspace"] = args.subspace_method
+        try:
+            constraints = _parse_constraint_flags(args)
+        except ValueError as exc:
+            parser.error(str(exc))
+        if constraints is not None:
+            if args.rounds:
+                parser.error("--pin/--mass/--region require --rounds 0")
+            kwargs["constraints"] = constraints
         ckpt = None
         if getattr(args, "checkpoint", None):
             if args.algo != "parhde":
@@ -758,6 +795,57 @@ def _serve(args) -> int:
     return 0
 
 
+def _parse_constraint_flags(args):
+    """Translate --pin/--mass/--region flags into a ConstraintSpec dict.
+
+    Returns ``None`` when no constraint flag was given.  Spellings:
+    ``--pin 5:0.5,0.5``, ``--mass 3:10``, ``--region='-1:1,-1:1'``.
+    """
+    pins = {}
+    for spec in args.pin:
+        vertex, sep, coords = spec.partition(":")
+        if not sep:
+            raise ValueError(f"--pin needs V:X,Y, got {spec!r}")
+        try:
+            pins[int(vertex)] = tuple(float(c) for c in coords.split(","))
+        except ValueError:
+            raise ValueError(f"--pin needs V:X,Y, got {spec!r}") from None
+    masses = {}
+    for spec in args.mass:
+        vertex, sep, mass = spec.partition(":")
+        if not sep:
+            raise ValueError(f"--mass needs V:M, got {spec!r}")
+        try:
+            masses[int(vertex)] = float(mass)
+        except ValueError:
+            raise ValueError(f"--mass needs V:M, got {spec!r}") from None
+    region = None
+    if args.region:
+        region = []
+        for axis in args.region.split(","):
+            lo, sep, hi = axis.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"--region needs LO:HI per axis, got {args.region!r}"
+                )
+            try:
+                region.append((float(lo), float(hi)))
+            except ValueError:
+                raise ValueError(
+                    f"--region needs LO:HI per axis, got {args.region!r}"
+                ) from None
+    if not pins and not masses and region is None:
+        return None
+    out = {}
+    if pins:
+        out["pins"] = pins
+    if masses:
+        out["masses"] = masses
+    if region is not None:
+        out["region"] = region
+    return out
+
+
 def _stream(g, args, parser) -> int:
     import statistics
     import time
@@ -808,7 +896,12 @@ def _stream(g, args, parser) -> int:
             parser.error(f"cannot warm-start from {args.layout!r}: {exc}")
     elif autosave:
         session = StreamSession.resume(
-            g, autosave, s=args.subspace, seed=args.seed, policy=policy
+            g,
+            autosave,
+            s=args.subspace,
+            seed=args.seed,
+            policy=policy,
+            traversal=args.traversal,
         )
         if session.epoch:
             print(
@@ -817,7 +910,11 @@ def _stream(g, args, parser) -> int:
             )
     else:
         session = StreamSession(
-            g, args.subspace, seed=args.seed, policy=policy
+            g,
+            args.subspace,
+            seed=args.seed,
+            policy=policy,
+            traversal=args.traversal,
         )
     print(
         f"initial layout: {time.perf_counter() - t0:.3f}s"

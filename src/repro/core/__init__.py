@@ -1,5 +1,7 @@
 """Core layout algorithms: ParHDE, PHDE, PivotMDS, and extensions."""
 
+from .constrained import carrier_field, deflate_basis, free_indicator
+from .constraints import ConstraintSpec
 from .hde import parhde
 from .kernels import SUBSPACE_METHODS, KernelConfig
 from .phde import phde
@@ -23,6 +25,10 @@ __all__ = [
     "pivotmds",
     "double_center",
     "KernelConfig",
+    "ConstraintSpec",
+    "carrier_field",
+    "deflate_basis",
+    "free_indicator",
     "STRATEGIES",
     "TRAVERSALS",
     "SUBSPACE_METHODS",

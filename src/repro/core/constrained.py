@@ -1,0 +1,139 @@
+"""Constrained-layout kernels: pin deflation and carrier fields.
+
+Three primitives turn the unconstrained ParHDE subspace machinery into a
+pin-respecting solver (ROADMAP item 4; cf. the mass-weighted fixed-
+coordinate spectral drawing of FRAME's ``spectral_algorithm.py``):
+
+* :func:`deflate_basis` — given the W-orthonormal basis ``S``
+  (``W = M·D``), produce a basis of the *free* subspace: every column
+  is exactly zero on the pinned rows.  Zero the pinned rows of ``S``,
+  then re-orthogonalize under ``W`` against the **free-vertex
+  indicator** instead of the all-ones vector — Gram-Schmidt only forms
+  linear combinations, so rows that start at zero stay bitwise zero,
+  and deflating the indicator removes the quasi-constant free mode that
+  would otherwise dominate the spectrum (a constant-on-free-vertices
+  eigenvector collapses the layout).
+* :func:`carrier_field` — the minimum-Dirichlet-energy interpolation of
+  the pin positions within the affine space ``X_p + span(S_c)``:
+  solve ``(S_cᵀ L S_c) W = −S_cᵀ L X_p`` (the normal equations of
+  ``min_W ‖X_p + S_c W‖_L``), where ``X_p`` carries the pin coordinates
+  on pinned rows and zeros elsewhere.  The Gram matrix is exactly the
+  TripleProd output ``Z_c``, so the carrier costs one extra
+  ``dims``-column SpMM plus an ``s×s`` dense solve.
+* :func:`free_indicator` — the deflation vector itself.
+
+The final constrained coordinates are
+``carrier + S_c · Y`` (``Y`` = smallest eigenvectors of ``Z_c``),
+followed by a bitwise write-back of the pin positions and the
+idempotent region clamp — assembled by the caller
+(:func:`repro.core.parhde`, :class:`repro.stream.StreamSession`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..linalg.blas import dense_gemm
+from ..linalg.gram_schmidt import OrthoResult, d_orthogonalize
+from ..linalg.laplacian import laplacian_spmm
+from ..parallel.costs import Ledger
+from ..parallel.primitives import F64, map_cost
+
+__all__ = ["free_indicator", "deflate_basis", "carrier_field"]
+
+#: Relative ridge added to the deflated Gram matrix before the carrier
+#: solve.  ``Z_c`` is PSD and can be numerically singular when the free
+#: subspace retains a near-null direction; a trace-scaled ridge keeps
+#: the solve stable without visibly moving the interpolant.
+_CARRIER_RIDGE = 1e-10
+
+
+def free_indicator(n: int, pin_idx: np.ndarray) -> np.ndarray:
+    """The (n,) vector that is 1 on free vertices and 0 on pinned ones."""
+    c = np.ones(n, dtype=np.float64)
+    c[pin_idx] = 0.0
+    return c
+
+
+def deflate_basis(
+    S: np.ndarray,
+    w: np.ndarray | None,
+    pin_idx: np.ndarray,
+    *,
+    gs_method: str = "mgs",
+    drop_tol: float = 1e-3,
+    ledger: Ledger | None = None,
+) -> OrthoResult:
+    """W-orthonormal basis of the pin-free subspace spanned by ``S``.
+
+    Parameters
+    ----------
+    S:
+        ``(n, k)`` basis, typically already W-orthonormal (not
+        required).  Not modified.
+    w:
+        The weight vector ``m·d`` (``None`` for unweighted).
+    pin_idx:
+        Pinned vertex ids.  Every returned column is exactly 0 there.
+
+    Returns
+    -------
+    OrthoResult
+        ``S`` has ``SᵀWS = I``, zero pinned rows, and is W-orthogonal
+        to the free-vertex indicator; ``kept``/``dropped`` index the
+        *input* columns.
+    """
+    n = S.shape[0]
+    if len(pin_idx) >= n:
+        raise ValueError("cannot pin every vertex — nothing left to lay out")
+    S0 = S.copy()
+    S0[pin_idx, :] = 0.0
+    if ledger is not None:
+        ledger.add(
+            map_cost(
+                len(pin_idx) * S.shape[1], flops_per_elem=0.0, bytes_per_elem=F64
+            )
+        )
+    return d_orthogonalize(
+        S0,
+        w,
+        method=gs_method,
+        drop_tol=drop_tol,
+        ledger=ledger,
+        constant=free_indicator(n, pin_idx),
+    )
+
+
+def carrier_field(
+    g: CSRGraph,
+    S_c: np.ndarray,
+    Z_c: np.ndarray,
+    pin_idx: np.ndarray,
+    pin_pos: np.ndarray,
+    *,
+    ledger: Ledger | None = None,
+) -> np.ndarray:
+    """Energy-minimizing interpolation of the pins over the free basis.
+
+    Returns the ``(n, dims)`` carrier ``X_p + S_c W`` where
+    ``(Z_c + εI) W = −S_cᵀ L X_p``.  Pinned rows equal ``pin_pos``
+    exactly up to the (all-zero) contribution of ``S_c`` there — the
+    caller still writes the pin positions back verbatim so the result
+    is bitwise regardless of rounding.
+    """
+    n = g.n
+    dims = pin_pos.shape[1]
+    X = np.zeros((n, dims), dtype=np.float64)
+    X[pin_idx] = pin_pos
+    LX = laplacian_spmm(g, X, ledger=ledger, subphase="LXp")
+    rhs = -dense_gemm(S_c.T, LX, ledger=ledger, subphase="S'(LXp)")
+    k = Z_c.shape[0]
+    scale = max(1.0, float(np.trace(Z_c)) / max(k, 1))
+    W = np.linalg.solve(Z_c + (_CARRIER_RIDGE * scale) * np.eye(k), rhs)
+    carrier = X + S_c @ W
+    if ledger is not None:
+        ledger.add(
+            map_cost(n * k * dims, flops_per_elem=2.0, bytes_per_elem=F64)
+        )
+    return carrier

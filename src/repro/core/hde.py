@@ -44,15 +44,51 @@ from ..resilience.deadline import Deadline, phase_scope
 from ..validate import (
     ValidationPolicy,
     check_bfs_levels,
+    check_constraints,
     check_d_orthogonality,
     check_eigenpairs,
     check_laplacian_identity,
 )
+from .constrained import carrier_field, deflate_basis
+from .constraints import ConstraintSpec
 from .kernels import KernelConfig
 from .pivots import select_and_traverse
 from .result import LayoutResult
 
 __all__ = ["parhde"]
+
+
+def _params_echo(
+    cfg: KernelConfig,
+    spec: ConstraintSpec,
+    *,
+    s: int,
+    dims: int,
+    seed: int,
+    weighted: bool,
+    weight_interpretation: str,
+    delta: float | None,
+) -> dict:
+    """The canonical params echo shared by cold and warm ParHDE runs."""
+    params = dict(
+        s=s,
+        dims=dims,
+        seed=seed,
+        pivots=cfg.pivots,
+        ortho=cfg.ortho,
+        gs_method=cfg.gs_method,
+        project_basis=cfg.project_basis,
+        drop_tol=cfg.drop_tol,
+        traversal=cfg.traversal,
+        subspace=cfg.subspace,
+        rounds=cfg.rounds,
+        weighted=weighted,
+        weight_interpretation=weight_interpretation,
+        delta=delta,
+    )
+    if not spec.is_trivial:
+        params["constraints"] = spec.to_params()
+    return params
 
 
 def parhde(
@@ -70,6 +106,11 @@ def parhde(
     traversal: str | None = None,
     subspace: str | None = None,
     rounds: int | None = None,
+    constraints: ConstraintSpec | dict | None = None,
+    pins=None,
+    masses=None,
+    region=None,
+    warm_base: dict | None = None,
     weighted: bool = False,
     weight_interpretation: str = "distance",
     delta: float | None = None,
@@ -119,6 +160,34 @@ def parhde(
         :mod:`repro.linalg.randomized`).  ``rounds=0`` (default) skips
         refinement; ``rounds > 0`` requires ``ortho="D"`` and
         ``project_basis="S"`` (the refinement lives in D-geometry).
+    constraints:
+        A :class:`~repro.core.constraints.ConstraintSpec` (or an
+        equivalent dict) of pinned vertices, per-vertex masses and a
+        bounding region — the preferred spelling; the ``pins`` /
+        ``masses`` / ``region`` kwargs below are merged onto it and a
+        contradiction raises ``ValueError``.  Masses turn the
+        orthogonalization weight into ``m·d`` (invariant
+        ``‖SᵀMDS − I‖``); pins hold the named coordinates bitwise fixed
+        while free vertices relax around the energy-minimizing carrier
+        field; the region is clamped during back-projection
+        (idempotently).  Constraints require ``rounds == 0``, and pins
+        additionally require ``project_basis="S"``.
+    pins / masses / region:
+        Legacy spellings of the corresponding ``constraints`` fields
+        (``{vertex: coords}`` mapping or pair list; ``{vertex: mass}``;
+        ``[(lo, hi), ...]`` per dimension).
+    warm_base:
+        Internal warm-restart carrier (used by the serving engine and
+        the stream session): a dict with the pre-deflation basis ``S``,
+        ``kept``, ``pivots`` — and optionally the cached deflation
+        products ``pin_set``/``S_c``/``Z_c`` or the unconstrained Gram
+        ``Z`` — from a previous run on the *same graph content and
+        non-pin parameters*.  The BFS and base-DOrtho phases are
+        skipped entirely (and, on a pin-set match, deflation and
+        TripleProd too), which is what makes a drag ≥3× cheaper than a
+        cold constrained layout.  Requires ``rounds == 0`` and
+        ``project_basis="S"``; the dict is updated in place with newly
+        computed products.
     weighted:
         Use Delta-stepping SSSP distances; requires ``g.is_weighted``.
     weight_interpretation:
@@ -188,80 +257,129 @@ def parhde(
             "subspace refinement (rounds > 0) requires ortho='D' and"
             " project_basis='S' — the refinement operates in D-geometry"
         )
+    spec = ConstraintSpec.resolve(
+        constraints, pins=pins, masses=masses, region=region
+    )
+    spec.validate_for(g.n, dims)
+    if not spec.is_trivial and cfg.rounds > 0:
+        raise ValueError(
+            "constrained layouts do not compose with subspace refinement"
+            " (rounds > 0) — drop the constraints or set rounds=0"
+        )
+    if spec.has_pins and cfg.project_basis == "B":
+        raise ValueError(
+            "pinned vertices require project_basis='S' — pin deflation"
+            " operates on the orthonormal basis"
+        )
+    if warm_base is not None and (cfg.rounds > 0 or cfg.project_basis != "S"):
+        raise ValueError("warm_base requires rounds=0 and project_basis='S'")
     policy = ValidationPolicy.coerce(validate)
     led = ledger if ledger is not None else Ledger()
 
-    # Phase 1: BFS (or SSSP) traversals.  Under the similarity reading,
-    # traversal lengths are the inverted weights; everything spectral
-    # (D, L) keeps the original similarities.
-    g_traverse = g
-    if weighted and weight_interpretation == "similarity":
-        g_traverse = g.with_weights(float(g.weights.max()) / g.weights)
-    restored = checkpoint.load("bfs") if checkpoint is not None else None
-    if restored is not None:
-        B = restored["B"]
-        sources = restored["pivots"]
-        bfs_stats = []
-        checkpoint.mark_restored()
-    else:
-        with led.phase("BFS"), phase_scope(deadline, "BFS"):
-            failpoint("parhde.bfs")
-            ms = select_and_traverse(
-                g_traverse,
-                s,
-                strategy=cfg.pivots,
-                traversal=cfg.traversal,
-                seed=seed,
-                ledger=led,
-                weighted=weighted,
-                delta=delta,
-            )
-        B = ms.distances
-        sources = ms.sources
-        bfs_stats = ms.stats
-        if checkpoint is not None:
-            checkpoint.save("bfs", B=B, pivots=sources)
-    if weighted:
-        if not np.all(np.isfinite(B)):
-            raise ValueError("graph must be connected (infinite distances found)")
-    elif B.min() < 0:
-        raise ValueError("graph must be connected (unreached vertices found)")
-    if policy.enabled:
-        # Levels are checked against the graph actually traversed (the
-        # similarity reading inverts the weights before SSSP).
-        policy.handle(
-            check_bfs_levels(g_traverse, B, sources, weighted=weighted)
-        )
-
-    # Phase 2: D-orthogonalization.
+    # Mass weighting: per-vertex masses fold into the orthogonalization
+    # weight (W = M·D, or just M under ortho="plain"), so the invariant
+    # the basis satisfies becomes ‖SᵀMDS − I‖.
     d = g.weighted_degrees if cfg.ortho == "D" else None
-    restored = checkpoint.load("dortho") if checkpoint is not None else None
-    if restored is not None:
-        S = restored["S"]
-        kept = [int(i) for i in restored["kept"]]
-        dropped = [int(i) for i in restored["dropped"]]
-        checkpoint.mark_restored()
+    if spec.has_masses:
+        mvec = spec.mass_vector(g.n)
+        d_eff = mvec * d if d is not None else mvec
     else:
-        with led.phase("DOrtho"), phase_scope(deadline, "DOrtho"):
-            failpoint("parhde.dortho")
-            ores = d_orthogonalize(
-                B, d, method=cfg.gs_method, drop_tol=cfg.drop_tol, ledger=led
+        d_eff = d
+
+    if warm_base is not None:
+        # Warm restart: the basis comes from a previous run on the same
+        # graph content, masses and kernel choices — skip the BFS and
+        # base-DOrtho phases outright (that skipped work is the warm
+        # path's entire advantage; the ledger records none of it).
+        S = np.asarray(warm_base["S"], dtype=np.float64)
+        kept = [int(i) for i in warm_base["kept"]]
+        sources = np.asarray(warm_base["pivots"])
+        B = np.zeros((g.n, 0), dtype=np.float64)
+        bfs_stats = []
+        dropped = []
+        if S.shape[0] != g.n:
+            raise ValueError("warm_base basis does not match the graph")
+        if S.shape[1] < dims:
+            raise ValueError(
+                f"warm_base basis has only {S.shape[1]} columns; need dims={dims}"
             )
-        S, kept, dropped = ores.S, ores.kept, ores.dropped
-        if checkpoint is not None:
-            checkpoint.save(
-                "dortho",
-                S=S,
-                kept=np.asarray(kept, dtype=np.int64),
-                dropped=np.asarray(dropped, dtype=np.int64),
+    else:
+        # Phase 1: BFS (or SSSP) traversals.  Under the similarity
+        # reading, traversal lengths are the inverted weights;
+        # everything spectral (D, L) keeps the original similarities.
+        g_traverse = g
+        if weighted and weight_interpretation == "similarity":
+            g_traverse = g.with_weights(float(g.weights.max()) / g.weights)
+        restored = checkpoint.load("bfs") if checkpoint is not None else None
+        if restored is not None:
+            B = restored["B"]
+            sources = restored["pivots"]
+            bfs_stats = []
+            checkpoint.mark_restored()
+        else:
+            with led.phase("BFS"), phase_scope(deadline, "BFS"):
+                failpoint("parhde.bfs")
+                ms = select_and_traverse(
+                    g_traverse,
+                    s,
+                    strategy=cfg.pivots,
+                    traversal=cfg.traversal,
+                    seed=seed,
+                    ledger=led,
+                    weighted=weighted,
+                    delta=delta,
+                )
+            B = ms.distances
+            sources = ms.sources
+            bfs_stats = ms.stats
+            if checkpoint is not None:
+                checkpoint.save("bfs", B=B, pivots=sources)
+        if weighted:
+            if not np.all(np.isfinite(B)):
+                raise ValueError(
+                    "graph must be connected (infinite distances found)"
+                )
+        elif B.min() < 0:
+            raise ValueError("graph must be connected (unreached vertices found)")
+        if policy.enabled:
+            # Levels are checked against the graph actually traversed (the
+            # similarity reading inverts the weights before SSSP).
+            policy.handle(
+                check_bfs_levels(g_traverse, B, sources, weighted=weighted)
             )
-    if S.shape[1] < dims:
-        raise ValueError(
-            f"only {S.shape[1]} independent distance vectors survived; "
-            f"increase s (got s={s}) or check the graph"
-        )
-    if policy.enabled:
-        policy.handle(check_d_orthogonality(S, d, tol=policy.ortho_tol))
+
+        # Phase 2: D-orthogonalization (mass-weighted when masses exist).
+        restored = checkpoint.load("dortho") if checkpoint is not None else None
+        if restored is not None:
+            S = restored["S"]
+            kept = [int(i) for i in restored["kept"]]
+            dropped = [int(i) for i in restored["dropped"]]
+            checkpoint.mark_restored()
+        else:
+            with led.phase("DOrtho"), phase_scope(deadline, "DOrtho"):
+                failpoint("parhde.dortho")
+                ores = d_orthogonalize(
+                    B,
+                    d_eff,
+                    method=cfg.gs_method,
+                    drop_tol=cfg.drop_tol,
+                    ledger=led,
+                )
+            S, kept, dropped = ores.S, ores.kept, ores.dropped
+            if checkpoint is not None:
+                checkpoint.save(
+                    "dortho",
+                    S=S,
+                    kept=np.asarray(kept, dtype=np.int64),
+                    dropped=np.asarray(dropped, dtype=np.int64),
+                )
+        if S.shape[1] < dims:
+            raise ValueError(
+                f"only {S.shape[1]} independent distance vectors survived; "
+                f"increase s (got s={s}) or check the graph"
+            )
+        if policy.enabled:
+            policy.handle(check_d_orthogonality(S, d_eff, tol=policy.ortho_tol))
 
     # Optional subspace refinement (kernels.rounds > 0): rotate the basis
     # toward the walk operator's dominant eigenvectors before projecting.
@@ -278,21 +396,65 @@ def parhde(
                 f" columns; reduce rounds or increase s (got s={s})"
             )
         if policy.enabled:
-            policy.handle(check_d_orthogonality(S, d, tol=policy.ortho_tol))
+            policy.handle(check_d_orthogonality(S, d_eff, tol=policy.ortho_tol))
 
-    # Phase 3: TripleProd — P = L S, then Z = S' P.
-    with led.phase("TripleProd"), phase_scope(deadline, "TripleProd"):
-        failpoint("parhde.tripleprod")
-        P = laplacian_spmm(g, S, ledger=led, subphase="LS")
-        Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")
-    if policy.enabled and policy.run_deep:
+    # Pin deflation: restrict the basis to the free subspace (every
+    # column bitwise zero on pinned rows, the quasi-constant free mode
+    # deflated).  The deflated products depend only on *which* vertices
+    # are pinned, so a warm restart whose pin set matches the cached one
+    # (a drag: same pins, new position) reuses S_c and Z_c and skips
+    # deflation and TripleProd entirely.
+    base_S = S
+    pin_idx, pin_pos = spec.pin_arrays()
+    pin_set = tuple(int(v) for v in pin_idx)
+    P = None
+    cached = warm_base.get("deflated") if warm_base is not None else None
+    if spec.has_pins:
+        if cached is not None and cached[0] == pin_set:
+            S, Z = cached[1], cached[2]
+        else:
+            with led.phase("DOrtho"), phase_scope(deadline, "DOrtho"):
+                dres = deflate_basis(
+                    base_S,
+                    d_eff,
+                    pin_idx,
+                    gs_method=cfg.gs_method,
+                    drop_tol=cfg.drop_tol,
+                    ledger=led,
+                )
+            S = dres.S
+            if S.shape[1] < dims:
+                raise ValueError(
+                    f"pin deflation left only {S.shape[1]} independent"
+                    f" columns; increase s (got s={s}) or pin fewer vertices"
+                )
+            if policy.enabled:
+                policy.handle(
+                    check_d_orthogonality(
+                        S, d_eff, tol=policy.ortho_tol, centered=False
+                    )
+                )
+            with led.phase("TripleProd"), phase_scope(deadline, "TripleProd"):
+                failpoint("parhde.tripleprod")
+                P = laplacian_spmm(g, S, ledger=led, subphase="LS")
+                Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")
+    elif warm_base is not None and "Z" in warm_base:
+        Z = warm_base["Z"]
+    else:
+        # Phase 3: TripleProd — P = L S, then Z = S' P.
+        with led.phase("TripleProd"), phase_scope(deadline, "TripleProd"):
+            failpoint("parhde.tripleprod")
+            P = laplacian_spmm(g, S, ledger=led, subphase="LS")
+            Z = dense_gemm(S.T, P, ledger=led, subphase="S'(LS)")
+    if P is not None and policy.enabled and policy.run_deep:
         # The edge-scatter reference costs another SpMM's worth of work,
         # so it only runs at strict (or deep=True) level.
         policy.handle(
             check_laplacian_identity(g, S, P, tol=policy.laplacian_tol)
         )
 
-    # Phase 4 ("Other"): eigensolve on the tiny matrix + back-projection.
+    # Phase 4 ("Other"): eigensolve on the tiny matrix + back-projection
+    # (plus carrier field and region clamp for constrained runs).
     with led.phase("Other"), phase_scope(deadline, "Other"):
         failpoint("parhde.eigensolve")
         evals, Y = extreme_eigenpairs(Z, dims, which="smallest")
@@ -305,10 +467,20 @@ def parhde(
                 bytes_per_elem=F64,
             )
         )
+        if spec.has_pins:
+            coords = coords + carrier_field(
+                g, S, Z, pin_idx, pin_pos, ledger=led
+            )
+            coords[pin_idx] = pin_pos
+        coords = spec.clamp(coords)
     if policy.enabled:
         policy.handle(check_eigenpairs(Z, evals, Y, tol=policy.eigen_tol))
+    if policy.enabled and not spec.is_trivial:
+        policy.handle(
+            check_constraints(coords, spec, S=S, w=d_eff, tol=policy.ortho_tol)
+        )
 
-    return LayoutResult(
+    result = LayoutResult(
         coords=coords,
         algorithm="parhde",
         B=B,
@@ -318,20 +490,26 @@ def parhde(
         bfs_stats=bfs_stats,
         dropped=dropped,
         ledger=led,
-        params=dict(
+        params=_params_echo(
+            cfg,
+            spec,
             s=s,
             dims=dims,
             seed=seed,
-            pivots=cfg.pivots,
-            ortho=cfg.ortho,
-            gs_method=cfg.gs_method,
-            project_basis=cfg.project_basis,
-            drop_tol=cfg.drop_tol,
-            traversal=cfg.traversal,
-            subspace=cfg.subspace,
-            rounds=cfg.rounds,
             weighted=weighted,
             weight_interpretation=weight_interpretation,
             delta=delta,
         ),
     )
+    if cfg.rounds == 0 and cfg.project_basis == "S":
+        # Warm-restart carrier for the serving engine / stream session:
+        # the pre-deflation basis plus whichever Gram products this run
+        # produced (a fresh dict — never mutate the caller's).
+        warm: dict = dict(warm_base) if warm_base is not None else {}
+        warm.update(S=base_S, kept=list(kept), pivots=sources)
+        if spec.has_pins:
+            warm["deflated"] = (pin_set, S, Z)
+        else:
+            warm["Z"] = Z
+        result.warm = warm
+    return result

@@ -24,6 +24,7 @@ from ..linalg.blas import center_columns, dense_gemm
 from ..linalg.eigen import extreme_eigenpairs
 from ..parallel.costs import Ledger
 from ..parallel.primitives import F64, map_cost
+from .constraints import ConstraintSpec
 from .pivots import select_and_traverse
 from .result import LayoutResult
 
@@ -38,15 +39,29 @@ def phde(
     seed: int = 0,
     pivots: str = "kcenters",
     traversal: str = "per-source",
+    constraints: ConstraintSpec | dict | None = None,
+    pins=None,
+    masses=None,
+    region=None,
     weighted: bool = False,
     delta: float | None = None,
     ledger: Ledger | None = None,
 ) -> LayoutResult:
-    """PCA-based HDE layout.  Parameters as in :func:`repro.core.parhde`."""
+    """PCA-based HDE layout.  Parameters as in :func:`repro.core.parhde`.
+
+    Constraints get the PCA-appropriate treatment: masses weight the
+    Gram matrix (``M = Cᵀ diag(m) C``, mass-weighted principal axes);
+    pins translate the layout onto the pinned centroid and are then
+    written back bitwise; the region clamp is identical to ParHDE's.
+    """
     if g.n < 3:
         raise ValueError("layout needs at least 3 vertices")
     if s < dims:
         raise ValueError(f"s={s} must be at least dims={dims}")
+    spec = ConstraintSpec.resolve(
+        constraints, pins=pins, masses=masses, region=region
+    )
+    spec.validate_for(g.n, dims)
     led = ledger if ledger is not None else Ledger()
 
     with led.phase("BFS"):
@@ -64,7 +79,14 @@ def phde(
         C = center_columns(B, led)
 
     with led.phase("MatMul"):
-        M = dense_gemm(C.T, C, led)
+        if spec.has_masses:
+            mvec = spec.mass_vector(g.n)
+            led.add(
+                map_cost(g.n * s, flops_per_elem=1.0, bytes_per_elem=2 * F64)
+            )
+            M = dense_gemm(C.T, mvec[:, None] * C, led)
+        else:
+            M = dense_gemm(C.T, C, led)
 
     with led.phase("Other"):
         evals, Y = extreme_eigenpairs(M, dims, which="largest")
@@ -72,7 +94,20 @@ def phde(
         led.add(
             map_cost(g.n * s * dims, flops_per_elem=2.0, bytes_per_elem=F64)
         )
+        if spec.has_pins:
+            pin_idx, pin_pos = spec.pin_arrays()
+            coords = coords + (
+                pin_pos.mean(axis=0) - coords[pin_idx].mean(axis=0)
+            )
+            coords[pin_idx] = pin_pos
+        coords = spec.clamp(coords)
 
+    params = dict(
+        s=s, dims=dims, seed=seed, pivots=pivots, traversal=traversal,
+        weighted=weighted, delta=delta,
+    )
+    if not spec.is_trivial:
+        params["constraints"] = spec.to_params()
     return LayoutResult(
         coords=coords,
         algorithm="phde",
@@ -82,8 +117,5 @@ def phde(
         pivots=ms.sources,
         bfs_stats=ms.stats,
         ledger=led,
-        params=dict(
-            s=s, dims=dims, seed=seed, pivots=pivots, traversal=traversal,
-            weighted=weighted, delta=delta,
-        ),
+        params=params,
     )

@@ -42,6 +42,11 @@ class LayoutResult:
         Cost ledger for the whole run; feeds the machine model.
     params:
         Echo of the algorithm parameters for reporting.
+    warm:
+        Optional warm-restart carrier (ParHDE only): the pre-deflation
+        basis and Gram products a follow-up constrained layout on the
+        same graph content can reuse to skip the BFS/DOrtho phases.
+        Never serialized; see ``warm_base`` in :func:`repro.core.parhde`.
     """
 
     coords: np.ndarray
@@ -54,6 +59,7 @@ class LayoutResult:
     dropped: list[int] = field(default_factory=list)
     ledger: Ledger = field(default_factory=Ledger)
     params: dict[str, Any] = field(default_factory=dict)
+    warm: dict[str, Any] | None = None
 
     @property
     def n(self) -> int:

@@ -105,6 +105,7 @@ def d_orthogonalize(
     method: str = "mgs",
     drop_tol: float = 1e-3,
     ledger: Ledger | None = None,
+    constant: np.ndarray | str | None = "ones",
 ) -> OrthoResult:
     """D-orthonormalize the columns of ``[1 | B]`` and drop column 0.
 
@@ -115,11 +116,22 @@ def d_orthogonalize(
         hop counts from pivot ``i``).  Not modified.
     d:
         Weighted degree vector (the diagonal of ``D``), or ``None`` for
-        plain orthogonalization (Algorithm 1 behaviour).
+        plain orthogonalization (Algorithm 1 behaviour).  Constrained
+        layouts pass the *mass-weighted* degree ``m · d`` here so the
+        result satisfies ``SᵀMDS = I``.
     method:
         ``"mgs"`` or ``"cgs"``.
     drop_tol:
         Columns whose residual D-norm is at most this are discarded.
+    constant:
+        The deflated "column 0" of Algorithm 3.  ``"ones"`` (default)
+        deflates the all-ones vector, so every surviving column is
+        D-orthogonal to the constant mode.  An array deflates that
+        vector instead — pin-constrained solves pass the free-vertex
+        indicator (1 on free rows, 0 on pinned rows), which keeps the
+        pinned rows of every output column *exactly* zero: linear
+        combinations of vectors vanishing on those rows still vanish
+        there.  ``None`` skips constant deflation entirely.
 
     Returns
     -------
@@ -140,10 +152,24 @@ def d_orthogonalize(
 
     # Column 0: the constant vector, D-normalized (Algorithm 3 line 3
     # writes 1/sqrt(n); under the D-inner product the normalizing factor
-    # is the total weighted degree instead).
+    # is the total weighted degree instead).  Constrained solves swap in
+    # a custom vector (e.g. the free-vertex indicator) normalized the
+    # same way.
     cols: list[np.ndarray] = []
-    s0 = np.full(n, 1.0 / np.sqrt(float(d.sum())), dtype=np.float64)
-    cols.append(s0)
+    if isinstance(constant, str):
+        if constant != "ones":
+            raise ValueError(f"unknown constant mode {constant!r}")
+        s0 = np.full(n, 1.0 / np.sqrt(float(d.sum())), dtype=np.float64)
+        cols.append(s0)
+    elif constant is not None:
+        c = np.asarray(constant, dtype=np.float64)
+        if c.shape != (n,):
+            raise ValueError("constant vector length mismatch")
+        cn = float(np.sqrt((d * c * c).sum()))
+        if cn <= 0:
+            raise ValueError("constant vector must be nonzero")
+        cols.append(c / cn)
+    n_const = len(cols)
 
     kept: list[int] = []
     dropped: list[int] = []
@@ -154,7 +180,7 @@ def d_orthogonalize(
                 coeff = blas.weighted_dot(q, d, v, ledger)
                 blas.axpy(-coeff, q, v, ledger)
             nrm = blas.weighted_norm(v, d, ledger)
-        else:  # cgs
+        elif cols:  # cgs
             Q = np.column_stack(cols)
             v, coeffs = _cgs_project(Q, d, v, n, ledger)
             nrm = blas.weighted_norm(v, d, ledger)
@@ -168,6 +194,8 @@ def d_orthogonalize(
             if nrm < _CGS2_SAFETY * norm_before:
                 v, _ = _cgs_project(Q, d, v, n, ledger)
                 nrm = blas.weighted_norm(v, d, ledger)
+        else:  # cgs with nothing to project against yet
+            nrm = blas.weighted_norm(v, d, ledger)
         if nrm <= drop_tol:
             dropped.append(i)
             continue
@@ -176,7 +204,7 @@ def d_orthogonalize(
         kept.append(i)
 
     S = (
-        np.column_stack(cols[1:])
+        np.column_stack(cols[n_const:])
         if kept
         else np.zeros((n, 0), dtype=np.float64)
     )

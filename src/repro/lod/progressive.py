@@ -27,6 +27,7 @@ in ``quality_tier`` and a ``params["lod"]`` metadata record.
 
 from __future__ import annotations
 
+import inspect
 import math
 import threading
 import time
@@ -194,6 +195,40 @@ def _wrap_frame(
     )
 
 
+def _level_masses(
+    algorithm: Callable[..., LayoutResult],
+    hierarchy: LodHierarchy,
+    depth: int,
+    params: Mapping[str, Any],
+) -> dict[int, float] | None:
+    """Per-supernode masses for the coarse-tier layout, if applicable.
+
+    A supernode stands for ``m_c = Pᵀm`` finest vertices; laying the
+    coarse level out unit-mass biases positions toward hub clusters
+    (every supernode pulls equally regardless of how many vertices it
+    represents).  Feed the hierarchy's accumulated mass vector into the
+    mass-weighted solver — unless the caller already passed masses or
+    constraints of their own, or the algorithm cannot accept them.
+    """
+    if "masses" in params or "constraints" in params or params.get("rounds"):
+        return None
+    kernels = params.get("kernels")
+    if kernels is not None and (
+        kernels.get("rounds") if isinstance(kernels, Mapping)
+        else getattr(kernels, "rounds", 0)
+    ):
+        return None
+    try:
+        accepted = inspect.signature(algorithm).parameters
+    except (TypeError, ValueError):
+        return None
+    if "masses" not in accepted:
+        return None
+    mass = hierarchy.mass_at(depth)
+    out = {int(i): float(m) for i, m in enumerate(mass) if m != 1.0}
+    return out or None
+
+
 def progressive_layout(
     g: CSRGraph,
     s: int = 10,
@@ -254,7 +289,13 @@ def progressive_layout(
 
     coarse = hierarchy.graph_at(depth)
     s_eff = min(int(s), max(dims, coarse.n - 1))
-    base = algorithm(coarse.unweighted(), s_eff, dims=dims, seed=seed, **params)
+    coarse_params = dict(params)
+    level_masses = _level_masses(algorithm, hierarchy, depth, coarse_params)
+    if level_masses is not None:
+        coarse_params["masses"] = level_masses
+    base = algorithm(
+        coarse.unweighted(), s_eff, dims=dims, seed=seed, **coarse_params
+    )
     coords = base.coords
     yield ProgressiveFrame(
         depth,
@@ -468,9 +509,16 @@ class ProgressiveEngine:
         eng = self.engine
         tel = self.telemetry
         g, digest, name, epoch, content = eng.resolve_versioned(request)
-        kwargs = eng._validate(request, g)
+        kwargs = eng._validate(request, g, eng._state_pins(request))
         if g.n < cfg.min_vertices:
             tel.inc("lod.bypass_small")
+            return eng._serve(request, t0)
+        if "constraints" in kwargs:
+            # Pins/masses/region address finest vertex ids; prolonging
+            # them through the hierarchy would only approximately honor
+            # them.  Constrained requests get the exact (and warm-
+            # restartable) direct path.
+            tel.inc("lod.bypass_constrained")
             return eng._serve(request, t0)
         fingerprint = layout_fingerprint(
             digest, request.algorithm, kwargs, epoch=epoch

@@ -27,11 +27,13 @@ from __future__ import annotations
 import inspect
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from .. import datasets
 from ..core import parhde, phde, pivotmds
+from ..core.constraints import ConstraintSpec
 from ..core.kernels import KernelConfig
 from ..core.result import LayoutResult
 from ..graph.csr import CSRGraph
@@ -47,7 +49,7 @@ from ..validate import (
     check_cache_consistency,
 )
 from .cache import LayoutCache
-from .fingerprint import graph_digest, layout_fingerprint
+from .fingerprint import canonical_params, graph_digest, layout_fingerprint
 from .telemetry import Telemetry
 
 __all__ = [
@@ -174,6 +176,10 @@ _ALLOWED_PARAMS = frozenset(
         "subspace",
         "rounds",
         "kernels",
+        "constraints",
+        "pins",
+        "masses",
+        "region",
     }
 )
 
@@ -191,6 +197,12 @@ _KERNEL_PARAMS = (
     "subspace",
     "rounds",
 )
+
+#: The constraint subset of :data:`_ALLOWED_PARAMS` — canonicalized
+#: through :class:`ConstraintSpec` exactly like the kernel knobs, so a
+#: ``constraints`` mapping and the flat ``pins``/``masses``/``region``
+#: keys fingerprint identically and contradictions become 400s.
+_CONSTRAINT_PARAMS = ("pins", "masses", "region")
 
 
 @dataclass(frozen=True)
@@ -239,6 +251,14 @@ class UpdateRequest:
     ``inserts`` rows are ``[u, v]`` or ``[u, v, w]``; ``deletes`` rows
     are ``[u, v]``.  Updates address *named* graphs only — the engine
     owns their lifecycle; in-memory graphs belong to the caller.
+
+    ``pins`` (``{vertex: [x, y]}`` or ``[vertex, [x, y]]`` pairs) and
+    ``unpins`` (vertex ids) edit the graph's server-side pin state: a
+    drag is *just another delta*.  Pinning moves every subsequent layout
+    fingerprint through the request parameters (state pins merge into
+    each layout's constraints), so pin edits bump neither the epoch nor
+    the content version — re-pinning an identical position still hits
+    the cache, and warm bases survive.
     """
 
     graph: str
@@ -246,6 +266,8 @@ class UpdateRequest:
     seed: int = 0
     inserts: tuple = ()
     deletes: tuple = ()
+    pins: Any = ()
+    unpins: tuple = ()
 
 
 @dataclass
@@ -262,6 +284,8 @@ class UpdateResponse:
     overlay_fraction: float
     compacted: bool
     elapsed: float
+    pinned: int = 0  # pin-state edits applied by this update
+    unpinned: int = 0
 
 
 @dataclass
@@ -315,13 +339,18 @@ class _GraphState:
     refinement chains check before publishing against.
     """
 
-    __slots__ = ("dyn", "digest", "epoch", "content", "lock")
+    __slots__ = ("dyn", "digest", "epoch", "content", "pins", "lock")
 
     def __init__(self, g: CSRGraph):
         self.dyn = DynamicGraph(g)
         self.digest = graph_digest(g)
         self.epoch = 0
         self.content = 0
+        #: Server-side pin state ({vertex: coords}), edited via /update
+        #: pins/unpins and merged into every layout's constraints.  Pin
+        #: edits move fingerprints through the request params, so they
+        #: bump neither ``epoch`` nor ``content``.
+        self.pins: dict[int, tuple[float, ...]] = {}
         self.lock = threading.Lock()
 
 
@@ -402,6 +431,15 @@ class LayoutEngine:
         self._flights_lock = threading.Lock()
         self._graphs: dict[tuple[str, str, int], _GraphState] = {}
         self._graphs_lock = threading.Lock()
+        # Warm bases for constrained relayouts: a cold constrained layout
+        # deposits its pre-deflation basis here; a pin/drag re-request on
+        # the same (graph content, algorithm, non-constraint params, mass
+        # facet) skips BFS + D-orthogonalization entirely.  Keyed outside
+        # the fingerprint — the warm base changes the cost, never the
+        # result.
+        self._warm_store: OrderedDict[str, dict] = OrderedDict()
+        self._warm_lock = threading.Lock()
+        self._warm_capacity = 16
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
@@ -504,15 +542,54 @@ class LayoutEngine:
                 " owned by the caller"
             )
         try:
+            pin_spec = ConstraintSpec(pins=request.pins or ())
+            unpins = [int(v) for v in request.unpins or ()]
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad pin edit: {exc}") from exc
+        try:
             delta = edge_delta(
                 inserts=request.inserts or (), deletes=request.deletes or ()
             )
         except (TypeError, ValueError) as exc:
             raise BadRequest(f"bad delta: {exc}") from exc
-        if not len(delta):
+        has_pin_edits = bool(pin_spec.pins) or bool(unpins)
+        if not len(delta) and not has_pin_edits:
             raise BadRequest("delta has no operations")
         state = self._graph_state(request.graph, request.scale, request.seed)
         with state.lock:
+            for v, _pos in pin_spec.pins:
+                if v >= state.dyn.n:
+                    raise BadRequest(
+                        f"pin vertex {v} out of range for n={state.dyn.n}"
+                    )
+            pinned = unpinned = 0
+            for v, pos in pin_spec.pins:
+                if state.pins.get(v) != pos:
+                    pinned += 1
+                state.pins[v] = pos
+            for v in unpins:
+                if state.pins.pop(v, None) is not None:
+                    unpinned += 1
+            if pinned or unpinned:
+                self.telemetry.inc("constraints.pin_edits", pinned + unpinned)
+            if not len(delta):
+                # Pin-only batch: fingerprints move through the merged
+                # constraint params, so the epoch stays put and cached
+                # layouts for other pin states remain valid.
+                return UpdateResponse(
+                    graph_name=request.graph,
+                    epoch=state.epoch,
+                    n=state.dyn.n,
+                    m=state.dyn.m,
+                    inserted=0,
+                    deleted=0,
+                    skipped=0,
+                    overlay_fraction=state.dyn.overlay_fraction,
+                    compacted=False,
+                    elapsed=time.perf_counter() - t0,
+                    pinned=pinned,
+                    unpinned=unpinned,
+                )
             try:
                 applied = state.dyn.apply(delta, strict=False)
             except ValueError as exc:
@@ -531,6 +608,8 @@ class LayoutEngine:
                 overlay_fraction=state.dyn.overlay_fraction,
                 compacted=compacted,
                 elapsed=time.perf_counter() - t0,
+                pinned=pinned,
+                unpinned=unpinned,
             )
 
     # -- internals ---------------------------------------------------------
@@ -624,7 +703,26 @@ class LayoutEngine:
         self.telemetry.inc("lod.published")
         return fingerprint
 
-    def _validate(self, request: LayoutRequest, g: CSRGraph) -> dict[str, Any]:
+    def _state_pins(
+        self, request: LayoutRequest
+    ) -> dict[int, tuple[float, ...]] | None:
+        """Snapshot of the server-side pin state for a named-graph request."""
+        if isinstance(request.graph, CSRGraph):
+            return None
+        key = (request.graph, request.scale, int(request.seed))
+        with self._graphs_lock:
+            state = self._graphs.get(key)
+        if state is None:
+            return None
+        with state.lock:
+            return dict(state.pins) if state.pins else None
+
+    def _validate(
+        self,
+        request: LayoutRequest,
+        g: CSRGraph,
+        state_pins: Mapping[int, tuple[float, ...]] | None = None,
+    ) -> dict[str, Any]:
         if request.algorithm not in self._algorithms:
             raise BadRequest(
                 f"unknown algorithm {request.algorithm!r}; available:"
@@ -664,6 +762,23 @@ class LayoutEngine:
         if cfg.rounds or "subspace" in kparams:
             self.telemetry.inc(f"kernels.subspace.{cfg.subspace}")
         extra.update(kparams)
+        # Canonicalize constraints the same way: a `constraints` mapping
+        # and flat pins/masses/region keys resolve through ConstraintSpec
+        # (contradictions → 400), server-side pin state merges in (request
+        # pins win per-vertex), and the spec re-emits as one minimal
+        # nested-list form so every spelling fingerprints identically.
+        constraints = extra.pop("constraints", None)
+        legacy_cons = {k: extra.pop(k) for k in _CONSTRAINT_PARAMS if k in extra}
+        try:
+            spec = ConstraintSpec.resolve(constraints, **legacy_cons)
+            if state_pins:
+                spec = spec.with_base_pins(state_pins)
+            spec.validate_for(g.n, int(extra.get("dims", 2)))
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(str(exc)) from exc
+        if not spec.is_trivial:
+            extra["constraints"] = spec.to_params()
+            self.telemetry.inc("constraints.requests")
         return {"s": s, "seed": int(request.seed), **extra}
 
     @staticmethod
@@ -673,6 +788,32 @@ class LayoutEngine:
         except (TypeError, ValueError):  # builtins / C callables
             return False
 
+    @staticmethod
+    def _accepts_warm(algo: Callable[..., LayoutResult]) -> bool:
+        try:
+            return "warm_base" in inspect.signature(algo).parameters
+        except (TypeError, ValueError):
+            return False
+
+    @staticmethod
+    def _warm_key(
+        digest: str, content: int, algorithm: str, kwargs: Mapping[str, Any]
+    ) -> str:
+        """Identity of a reusable warm basis for this request.
+
+        Everything that shapes the basis participates: graph content,
+        algorithm, every non-constraint param, and the mass facet of the
+        constraints (masses change the inner product; pins and region act
+        on an existing basis, so any pin/drag shares the key).
+        """
+        base = {k: v for k, v in kwargs.items() if k != "constraints"}
+        cons = kwargs.get("constraints") or {}
+        if "masses" in cons:
+            base["_masses"] = cons["masses"]
+        return "\x1f".join(
+            (digest, str(content), algorithm, canonical_params(base))
+        )
+
     def _compute(
         self,
         algo_key: str,
@@ -680,6 +821,8 @@ class LayoutEngine:
         kwargs: dict,
         enqueued: float,
         deadline_at: float | None = None,
+        warm_key: str | None = None,
+        warm: dict | None = None,
     ):
         self.telemetry.observe("queue_wait_seconds", time.perf_counter() - enqueued)
         t0 = time.perf_counter()
@@ -688,6 +831,8 @@ class LayoutEngine:
         s = kwargs.pop("s")
         if self.validation.enabled and self._accepts_validate(algo):
             kwargs["validate"] = self.validation
+        if warm is not None:
+            kwargs["warm_base"] = dict(warm)
         try:
             if self.resilience is not None:
                 result = self._compute_resilient(
@@ -704,6 +849,12 @@ class LayoutEngine:
             # Parameter accepted by one algorithm but not this one.
             raise BadRequest(str(exc)) from exc
         self.telemetry.observe("compute_seconds", time.perf_counter() - t0)
+        if warm_key is not None and getattr(result, "warm", None) is not None:
+            with self._warm_lock:
+                self._warm_store[warm_key] = result.warm
+                self._warm_store.move_to_end(warm_key)
+                while len(self._warm_store) > self._warm_capacity:
+                    self._warm_store.popitem(last=False)
         return result
 
     def _compute_resilient(
@@ -739,8 +890,8 @@ class LayoutEngine:
         )
 
     def _serve(self, request: LayoutRequest, t0: float) -> LayoutResponse:
-        g, digest, name, epoch = self._resolve_graph(request)
-        kwargs = self._validate(request, g)
+        g, digest, name, epoch, content = self.resolve_versioned(request)
+        kwargs = self._validate(request, g, self._state_pins(request))
         fingerprint = layout_fingerprint(
             digest, request.algorithm, kwargs, epoch=epoch
         )
@@ -809,6 +960,27 @@ class LayoutEngine:
                     " graph; retry later"
                 )
 
+        # Warm-base restart: a constrained request may reuse the basis a
+        # prior layout of the same graph content deposited (drags hit it).
+        # Skipped under resilience — the ladder's reduced rungs do not
+        # accept warm bases.
+        warm_key = warm = None
+        if "constraints" in kwargs and self.resilience is None:
+            algo = self._algorithms[request.algorithm]
+            if self._accepts_warm(algo):
+                warm_key = self._warm_key(
+                    digest, content, request.algorithm, kwargs
+                )
+                with self._warm_lock:
+                    warm = self._warm_store.get(warm_key)
+                    if warm is not None:
+                        self._warm_store.move_to_end(warm_key)
+                self.telemetry.inc(
+                    "constraints.warm_hits"
+                    if warm is not None
+                    else "constraints.warm_misses"
+                )
+
         # Single-flight: first thread in becomes the leader.
         with self._flights_lock:
             flight = self._flights.get(fingerprint)
@@ -829,6 +1001,8 @@ class LayoutEngine:
                     kwargs,
                     time.perf_counter(),
                     deadline_at,
+                    warm_key,
+                    warm,
                 )
             except PoolSaturated as exc:
                 with self._flights_lock:

@@ -183,13 +183,27 @@ def layout_doc_from_query(query: str) -> dict:
 
 
 def parse_update_doc(doc: dict) -> UpdateRequest:
-    """Build an :class:`UpdateRequest` from a ``POST /update`` body."""
+    """Build an :class:`UpdateRequest` from a ``POST /update`` body.
+
+    Besides edge edits, the body may carry pin-state edits: ``pins`` is
+    a ``{vertex: [x, y]}`` mapping (or ``[vertex, [x, y]]`` pair list)
+    and ``unpins`` a list of vertex ids — a drag is just another delta.
+    """
     graph = doc.get("graph")
     if not isinstance(graph, str) or not graph:
         raise BadRequest("'graph' (collection name) is required")
     for key in ("inserts", "deletes"):
         if key in doc and not isinstance(doc[key], list):
             raise BadRequest(f"'{key}' must be a list of [u, v] pairs")
+    pins = doc.get("pins")
+    if pins is not None and not isinstance(pins, (dict, list)):
+        raise BadRequest(
+            "'pins' must be a {vertex: coords} object or a list of"
+            " [vertex, coords] pairs"
+        )
+    unpins = doc.get("unpins")
+    if unpins is not None and not isinstance(unpins, list):
+        raise BadRequest("'unpins' must be a list of vertex ids")
     try:
         return UpdateRequest(
             graph=graph,
@@ -197,6 +211,8 @@ def parse_update_doc(doc: dict) -> UpdateRequest:
             seed=int(doc.get("seed", 0)),
             inserts=tuple(doc.get("inserts") or ()),
             deletes=tuple(doc.get("deletes") or ()),
+            pins=pins if pins is not None else (),
+            unpins=tuple(unpins or ()),
         )
     except (TypeError, ValueError) as exc:
         raise BadRequest(f"bad update field: {exc}") from exc
@@ -235,6 +251,8 @@ def update_payload(response) -> dict:
         "overlay_fraction": response.overlay_fraction,
         "compacted": response.compacted,
         "elapsed_seconds": response.elapsed,
+        "pinned": response.pinned,
+        "unpinned": response.unpinned,
     }
 
 

@@ -57,7 +57,9 @@ from pathlib import Path
 
 import numpy as np
 
+from ..bfs.batched import run_sources_batched
 from ..bfs.runner import run_sources
+from ..core.constraints import ConstraintSpec
 from ..core.hde import parhde
 from ..core.pivots import select_and_traverse
 from ..core.result import LayoutResult
@@ -120,8 +122,8 @@ class StreamUpdate:
     """One update's outcome: the new frame plus how it was produced."""
 
     epoch: int
-    mode: str  # "repair" | "relayout"
-    reason: str  # "repair" | "drift" | "staleness" | "weighted"
+    mode: str  # "repair" | "relayout" | "constraint"
+    reason: str  # "repair" | "drift" | "staleness" | "weighted" | "pin" | ...
     coords: np.ndarray
     drift: float
     changed_entries: int
@@ -195,9 +197,15 @@ class StreamSession:
         ortho: str = "D",
         gs_method: str = "mgs",
         drop_tol: float = 1e-3,
+        traversal: str = "per-source",
+        constraints: ConstraintSpec | dict | None = None,
+        pins=None,
+        masses=None,
+        region=None,
         layout: LayoutResult | None = None,
         validation: ValidationPolicy | str | None = None,
         autosave: str | os.PathLike | None = None,
+        telemetry=None,
     ):
         self.policy = policy if policy is not None else StreamPolicy()
         self.validation = ValidationPolicy.coerce(validation)
@@ -210,6 +218,17 @@ class StreamSession:
         self.ortho = ortho
         self.gs_method = gs_method
         self.drop_tol = float(drop_tol)
+        self.traversal = traversal
+        self.telemetry = telemetry
+        self._spec = ConstraintSpec.resolve(
+            constraints, pins=pins, masses=masses, region=region
+        )
+        self._spec.validate_for(g.n, self.dims)
+        #: Cached Gram products keyed to the *current* base basis: the
+        #: pin-deflated (pin_set, S_c, Z_c) triple and/or the plain Z.
+        #: Cleared whenever the basis is rebuilt (any graph change).
+        self._warm_extra: dict = {}
+        self._fallback_warned = False
         #: Successful updates applied so far (the session's frame number).
         self.epoch = 0
         self._since_full = 0
@@ -218,6 +237,8 @@ class StreamSession:
             "repairs": 0,
             "relayouts": 0,
             "warm_eigensolves": 0,
+            "constraint_updates": 0,
+            "repair_fallbacks": 0,
         }
         if layout is not None:
             self._adopt(g, layout)
@@ -230,17 +251,29 @@ class StreamSession:
                 ortho=ortho,
                 gs_method=gs_method,
                 drop_tol=drop_tol,
+                traversal=self.traversal,
+                constraints=self._spec if not self._spec.is_trivial else None,
                 validate=self.validation,
             )
             self.coords = res.coords
             self.B = res.B
-            self.S = res.S
             self.pivots = np.asarray(res.pivots, dtype=np.int64)
             self.eigenvalues = res.eigenvalues
-            dropped = set(res.dropped)
-            self._kept = [
-                i for i in range(self.B.shape[1]) if i not in dropped
-            ]
+            if res.warm is not None:
+                # Keep the *pre-deflation* basis: repairs, warm prefixes
+                # and snapshots all operate on it; deflation products
+                # ride separately in _warm_extra.
+                self.S = np.asarray(res.warm["S"], dtype=np.float64)
+                self._kept = [int(i) for i in res.warm["kept"]]
+                self._warm_extra = {
+                    k: res.warm[k] for k in ("deflated", "Z") if k in res.warm
+                }
+            else:
+                self.S = res.S
+                dropped = set(res.dropped)
+                self._kept = [
+                    i for i in range(self.B.shape[1]) if i not in dropped
+                ]
         self._Y: np.ndarray | None = None
         self.autosave_path = Path(autosave) if autosave is not None else None
         self._autosave()
@@ -304,11 +337,15 @@ class StreamSession:
         self.s = B.shape[1]
         dropped = set(int(i) for i in np.asarray(layout.dropped).ravel())
         self._kept = [i for i in range(self.s) if i not in dropped]
-        for key in ("dims", "seed", "ortho", "gs_method", "drop_tol"):
+        for key in ("dims", "seed", "ortho", "gs_method", "drop_tol", "traversal"):
             if key in layout.params:
                 setattr(self, key, layout.params[key])
         self.dims = int(self.dims)
         self.epoch = int(layout.params.get("stream_epoch", 0))
+        spec = ConstraintSpec.coerce(layout.params.get("constraints"))
+        spec.validate_for(g.n, self.dims)
+        self._spec = spec
+        self._warm_extra = {}
 
     # -- public API --------------------------------------------------------
     @property
@@ -320,6 +357,114 @@ class StreamSession:
     def n(self) -> int:
         return self.dyn.n
 
+    @property
+    def constraints(self) -> ConstraintSpec:
+        """The session's active constraint set (pins, masses, region)."""
+        return self._spec
+
+    # -- constraint edits ---------------------------------------------------
+    def pin(self, vertex: int, pos) -> StreamUpdate:
+        """Pin (or drag) one vertex to ``pos`` and emit the next frame.
+
+        A pin/drag is just another delta: the existing basis is reused
+        (deflation products too when the *set* of pinned vertices is
+        unchanged — the drag case), so the frame costs a small eigensolve
+        plus a carrier solve instead of BFS + orthogonalization.
+        """
+        pins = dict(self._spec.pins)
+        pins[int(vertex)] = tuple(float(c) for c in pos)
+        return self.set_constraints(
+            ConstraintSpec(
+                pins=pins, masses=self._spec.masses, region=self._spec.region
+            ),
+            _reason="pin",
+        )
+
+    def unpin(self, vertex: int | None = None) -> StreamUpdate:
+        """Release one pinned vertex (or all of them) and re-relax."""
+        pins = dict(self._spec.pins)
+        if vertex is None:
+            pins.clear()
+        else:
+            pins.pop(int(vertex), None)
+        return self.set_constraints(
+            ConstraintSpec(
+                pins=pins, masses=self._spec.masses, region=self._spec.region
+            ),
+            _reason="unpin",
+        )
+
+    def set_constraints(
+        self,
+        constraints: ConstraintSpec | dict | None = None,
+        *,
+        pins=None,
+        masses=None,
+        region=None,
+        _reason: str = "constraints",
+    ) -> StreamUpdate:
+        """Replace the session's constraint set and emit the next frame.
+
+        The graph is untouched, so no BFS runs.  Mass changes alter the
+        orthogonalization inner product and re-orthogonalize the basis;
+        pure pin/region edits reuse it as-is (and a drag — same pin set,
+        new coordinates — additionally reuses the deflated Gram
+        products).  Rolls back on failure like :meth:`update`.
+        """
+        t0 = time.perf_counter()
+        spec = ConstraintSpec.resolve(
+            constraints, pins=pins, masses=masses, region=region
+        )
+        spec.validate_for(self.n, self.dims)
+        led = Ledger()
+        prev = (self.coords, self.S, self.eigenvalues, self._kept,
+                self._Y, self._spec, dict(self._warm_extra))
+        masses_changed = spec.masses != self._spec.masses
+        self._spec = spec
+        try:
+            if masses_changed:
+                # New inner product: the basis (and everything derived
+                # from it) must be rebuilt from the repaired B.
+                self._warm_extra = {}
+                with led.phase("DOrtho"):
+                    ores = d_orthogonalize(
+                        self.B,
+                        self._ortho_weight(self.dyn.to_csr()),
+                        method=self.gs_method,
+                        drop_tol=self.drop_tol,
+                        ledger=led,
+                    )
+                if ores.S.shape[1] < self.dims:
+                    raise ValueError(
+                        f"only {ores.S.shape[1]} independent distance"
+                        " vectors survived under the new masses"
+                    )
+                self.S = ores.S
+                self._kept = list(ores.kept)
+                self._Y = None
+            res = self._constrained_finish(led)
+            coords = self._place(res.coords)
+        except Exception:
+            (self.coords, self.S, self.eigenvalues, self._kept,
+             self._Y, self._spec, self._warm_extra) = prev
+            raise
+        self.coords = coords
+        self.eigenvalues = res.eigenvalues
+        self.epoch += 1
+        self.stats["constraint_updates"] += 1
+        self._autosave()
+        return StreamUpdate(
+            epoch=self.epoch,
+            mode="constraint",
+            reason=_reason,
+            coords=coords,
+            drift=0.0,
+            changed_entries=0,
+            edges_examined=0,
+            elapsed=time.perf_counter() - t0,
+            ledger=led,
+        )
+
     def update(self, delta: EdgeDelta, *, strict: bool = True) -> StreamUpdate:
         """Apply one delta batch and produce the next frame.
 
@@ -330,10 +475,24 @@ class StreamSession:
         t0 = time.perf_counter()
         led = Ledger()
         prev = (self.coords, self.B.copy(), self.S, self.pivots,
-                self.eigenvalues, self._kept, self._Y)
+                self.eigenvalues, self._kept, self._Y,
+                dict(self._warm_extra))
         applied = self.dyn.apply(delta, strict=strict)
         try:
             if self.dyn.is_weighted:
+                # Incremental repair covers hop distances only; make the
+                # silent degradation observable (satellite: the fallback
+                # used to be invisible in production streams).
+                self.stats["repair_fallbacks"] += 1
+                if self.telemetry is not None:
+                    self.telemetry.inc("stream.repair_fallbacks")
+                if not self._fallback_warned:
+                    self._fallback_warned = True
+                    logger.warning(
+                        "weighted session: incremental repair unavailable,"
+                        " every update runs a full traversal (counted in"
+                        " stats['repair_fallbacks'])"
+                    )
                 out = self._full_relayout(led, "weighted", warm=False)
             elif self._since_full + 1 >= self.policy.staleness_limit:
                 out = self._full_relayout(led, "staleness", warm=True)
@@ -342,7 +501,8 @@ class StreamSession:
         except Exception:
             # Roll back: reinstate the pre-update graph and layout state.
             (self.coords, self.B, self.S, self.pivots,
-             self.eigenvalues, self._kept, self._Y) = prev
+             self.eigenvalues, self._kept, self._Y,
+             self._warm_extra) = prev
             self.dyn.apply(applied.inverse(), strict=False)
             raise
         self.epoch += 1
@@ -389,18 +549,25 @@ class StreamSession:
             eigenvalues=self.eigenvalues,
             pivots=self.pivots,
             dropped=[i for i in range(self.B.shape[1]) if i not in self._kept],
-            params=dict(
-                s=self.s,
-                dims=self.dims,
-                seed=self.seed,
-                pivots="kcenters",
-                ortho=self.ortho,
-                gs_method=self.gs_method,
-                project_basis="S",
-                drop_tol=self.drop_tol,
-                stream_epoch=self.epoch,
-            ),
+            params=self._snapshot_params(),
         )
+
+    def _snapshot_params(self) -> dict:
+        params = dict(
+            s=self.s,
+            dims=self.dims,
+            seed=self.seed,
+            pivots="kcenters",
+            ortho=self.ortho,
+            gs_method=self.gs_method,
+            project_basis="S",
+            drop_tol=self.drop_tol,
+            traversal=self.traversal,
+            stream_epoch=self.epoch,
+        )
+        if not self._spec.is_trivial:
+            params["constraints"] = self._spec.to_params()
+        return params
 
     # -- repair path -------------------------------------------------------
     def _try_repair(self, led: Ledger, applied) -> StreamUpdate:
@@ -434,17 +601,19 @@ class StreamSession:
             )
 
         prev_kept = self._kept
+        d_eff = self._ortho_weight(self.dyn)
         with led.phase("DOrtho"):
             warm_cols = 0
-            if self.ortho == "plain":
+            if self.ortho == "plain" and not self._spec.has_masses:
+                # Masses change even the "plain" inner product, so the
+                # column-prefix reuse only applies unweighted.
                 warm_cols = self._warm_prefix(prev_kept, rep.changed)
             if warm_cols:
                 ores = self._continue_dortho(warm_cols, led)
             else:
-                d = self.dyn.weighted_degrees if self.ortho == "D" else None
                 ores = d_orthogonalize(
                     self.B,
-                    d,
+                    d_eff,
                     method=self.gs_method,
                     drop_tol=self.drop_tol,
                     ledger=led,
@@ -456,9 +625,15 @@ class StreamSession:
             )
         S = ores.S
         if self.validation.enabled:
-            dcheck = self.dyn.weighted_degrees if self.ortho == "D" else None
             self.validation.handle(
-                check_d_orthogonality(S, dcheck, tol=self.validation.ortho_tol)
+                check_d_orthogonality(S, d_eff, tol=self.validation.ortho_tol)
+            )
+
+        if not self._spec.is_trivial:
+            return self._finish_constrained_update(
+                led, S, ores, mode="repair", reason="repair",
+                drift=rep.drift, changed=int(rep.changed.sum()),
+                edges_examined=rep.edges_examined, warm_cols=warm_cols,
             )
 
         with led.phase("TripleProd"):
@@ -607,12 +782,24 @@ class StreamSession:
         warm_pivots = bool(
             warm and not g.is_weighted and len(self.pivots) == self.s
         )
+        # The configured traversal kernel must survive relayouts and
+        # post-compaction re-traversals (it used to be silently dropped
+        # here, falling back to per-source scalar BFS).
+        traversal = "per-source" if g.is_weighted else self.traversal
         with led.phase("BFS"):
             if warm_pivots:
-                ms = run_sources(g, self.pivots, ledger=led)
+                if traversal == "batched":
+                    ms = run_sources_batched(g, self.pivots, ledger=led)
+                else:
+                    ms = run_sources(g, self.pivots, ledger=led)
             else:
                 ms = select_and_traverse(
-                    g, self.s, strategy="kcenters", seed=self.seed, ledger=led
+                    g,
+                    self.s,
+                    strategy="kcenters",
+                    traversal=traversal,
+                    seed=self.seed,
+                    ledger=led,
                 )
         B = ms.distances
         if B.min() < 0:
@@ -620,10 +807,11 @@ class StreamSession:
                 "delta disconnects the graph; layouts require a connected"
                 " graph (update rolled back)"
             )
-        d = g.weighted_degrees if self.ortho == "D" else None
+        d_eff = self._ortho_weight(g)
         with led.phase("DOrtho"):
             ores = d_orthogonalize(
-                B, d, method=self.gs_method, drop_tol=self.drop_tol, ledger=led
+                B, d_eff, method=self.gs_method, drop_tol=self.drop_tol,
+                ledger=led,
             )
         if ores.S.shape[1] < self.dims:
             raise ValueError(
@@ -633,7 +821,14 @@ class StreamSession:
         S = ores.S
         if self.validation.enabled:
             self.validation.handle(
-                check_d_orthogonality(S, d, tol=self.validation.ortho_tol)
+                check_d_orthogonality(S, d_eff, tol=self.validation.ortho_tol)
+            )
+        if not self._spec.is_trivial:
+            self.B = B
+            self.pivots = np.asarray(ms.sources, dtype=np.int64)
+            return self._finish_constrained_update(
+                led, S, ores, mode="relayout", reason=reason, drift=drift,
+                compacted=True, warm_pivots=warm_pivots, g=g,
             )
         with led.phase("TripleProd"):
             P = laplacian_spmm(g, S, ledger=led, subphase="LS")
@@ -671,6 +866,106 @@ class StreamSession:
             ledger=led,
             compacted=True,
             warm_pivots=warm_pivots,
+        )
+
+    # -- constrained assembly ----------------------------------------------
+    def _ortho_weight(self, src) -> np.ndarray | None:
+        """The orthogonalization weight ``m·d`` (or ``m``, ``d``, ``None``)."""
+        d = src.weighted_degrees if self.ortho == "D" else None
+        if not self._spec.has_masses:
+            return d
+        m = self._spec.mass_vector(src.n)
+        return m * d if d is not None else m
+
+    def _place(self, coords: np.ndarray) -> np.ndarray:
+        """Anchor/clamp a new frame according to the constraint set.
+
+        Pinned frames skip Procrustes — the pins fix the gauge, and any
+        rigid motion would move them off their bitwise positions.  The
+        region re-clamps after anchoring (idempotent, so an in-region
+        frame is untouched).
+        """
+        if self._spec.has_pins:
+            return coords
+        return self._spec.clamp(self._anchor(coords))
+
+    def _constrained_finish(self, led: Ledger, *, g=None, pivots=None):
+        """Run the warm ParHDE tail (deflation → eigensolve → carrier →
+        clamp) on the session's current basis, reusing cached Gram
+        products when the pin set is unchanged."""
+        g = g if g is not None else self.dyn.to_csr()
+        warm = {
+            "S": self.S,
+            "kept": list(self._kept),
+            "pivots": np.asarray(
+                pivots if pivots is not None else self.pivots, dtype=np.int64
+            ),
+        }
+        warm.update(self._warm_extra)
+        res = parhde(
+            g,
+            self.s,
+            dims=self.dims,
+            seed=self.seed,
+            ortho=self.ortho,
+            gs_method=self.gs_method,
+            drop_tol=self.drop_tol,
+            constraints=self._spec if not self._spec.is_trivial else None,
+            warm_base=warm,
+            ledger=led,
+            validate=self.validation,
+        )
+        if res.warm is not None:
+            self._warm_extra = {
+                k: res.warm[k] for k in ("deflated", "Z") if k in res.warm
+            }
+        return res
+
+    def _finish_constrained_update(
+        self,
+        led: Ledger,
+        S: np.ndarray,
+        ores: OrthoResult,
+        *,
+        mode: str,
+        reason: str,
+        drift: float = 0.0,
+        changed: int = 0,
+        edges_examined: int = 0,
+        warm_cols: int = 0,
+        compacted: bool = False,
+        warm_pivots: bool = False,
+        g=None,
+    ) -> StreamUpdate:
+        """Constrained tail of a repair or relayout: the basis was just
+        rebuilt, so cached Gram products are stale and are dropped."""
+        self._warm_extra = {}
+        self.S = S
+        self._kept = list(ores.kept)
+        res = self._constrained_finish(led, g=g)
+        coords = self._place(res.coords)
+        self.coords = coords
+        self.eigenvalues = res.eigenvalues
+        self._Y = None
+        if mode == "repair":
+            self._since_full += 1
+            self.stats["repairs"] += 1
+        else:
+            self._since_full = 0
+            self.stats["relayouts"] += 1
+        return StreamUpdate(
+            epoch=self.epoch,
+            mode=mode,
+            reason=reason,
+            coords=coords,
+            drift=drift,
+            changed_entries=changed,
+            edges_examined=edges_examined,
+            elapsed=0.0,
+            ledger=led,
+            compacted=compacted,
+            warm_pivots=warm_pivots,
+            warm_ortho_cols=warm_cols,
         )
 
     def _anchor(self, coords: np.ndarray) -> np.ndarray:

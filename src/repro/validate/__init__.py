@@ -31,6 +31,7 @@ from __future__ import annotations
 from .checkers import (
     check_bfs_levels,
     check_cache_consistency,
+    check_constraints,
     check_d_orthogonality,
     check_eigenpairs,
     check_laplacian_identity,
@@ -62,6 +63,7 @@ __all__ = [
     "ValidationWarning",
     "check_bfs_levels",
     "check_cache_consistency",
+    "check_constraints",
     "check_d_orthogonality",
     "check_eigenpairs",
     "check_laplacian_identity",

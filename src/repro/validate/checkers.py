@@ -45,6 +45,7 @@ from .policy import CheckResult
 __all__ = [
     "check_bfs_levels",
     "check_cache_consistency",
+    "check_constraints",
     "check_d_orthogonality",
     "check_eigenpairs",
     "check_laplacian_identity",
@@ -124,11 +125,17 @@ def check_d_orthogonality(
     d: np.ndarray | None,
     *,
     tol: float = 1e-6,
+    centered: bool = True,
 ) -> CheckResult:
     """Residual of ``S' D S = I`` plus ``S' D 1 = 0`` (Algorithm 3).
 
     ``d`` is the degree diagonal; ``None`` means plain orthogonality
-    (``d = 1``), the section 4.5.1 variant.
+    (``d = 1``), the section 4.5.1 variant.  Mass-weighted layouts pass
+    ``d = m·d`` so this is the ``‖SᵀMDS − I‖`` invariant.
+
+    ``centered=False`` skips the constant-vector term: pin-deflated
+    bases are D-orthogonal to the *free-vertex indicator*, not to the
+    all-ones vector, so only the Gram residual applies.
     """
     S = np.asarray(S, dtype=np.float64)
     n, k = S.shape
@@ -138,9 +145,9 @@ def check_d_orthogonality(
     # D-orthogonality to the constant vector, normalized like column 0 of
     # Algorithm 3 (1 / sqrt(sum d)).
     total = float(dd.sum())
-    if total > 0 and k:
-        centered = float(np.abs(S.T @ dd).max()) / np.sqrt(total)
-        resid = max(resid, centered)
+    if centered and total > 0 and k:
+        center_resid = float(np.abs(S.T @ dd).max()) / np.sqrt(total)
+        resid = max(resid, center_resid)
     return CheckResult("dortho.residual", "DOrtho", resid, tol)
 
 
@@ -308,6 +315,64 @@ def check_cache_consistency(
         0.0,
         "; ".join(mismatches),
     )
+
+
+def check_constraints(
+    coords: np.ndarray,
+    spec,
+    *,
+    S: np.ndarray | None = None,
+    w: np.ndarray | None = None,
+    tol: float = 1e-8,
+) -> CheckResult:
+    """Constrained-layout invariants (pins, region, mass-orthogonality).
+
+    ``spec`` is a :class:`repro.core.constraints.ConstraintSpec` (duck-
+    typed to avoid a circular import).  Three facets:
+
+    * every pinned vertex sits *exactly* at its pin position (the
+      pipeline writes the positions back verbatim, so the check is
+      equality — any drift means a kernel overwrote a pin);
+    * every coordinate lies inside the bounding region;
+    * when the basis ``S`` and weight ``w = m·d`` are supplied, the
+      mass-weighted Gram residual ``‖SᵀWS − I‖`` is within ``tol``
+      (the centering term is omitted: a pin-deflated basis is
+      W-orthogonal to the free-vertex indicator, not to all-ones).
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    residual = 0.0
+    detail = ""
+    pins = getattr(spec, "pins", ())
+    if pins:
+        idx = np.array([v for v, _ in pins], dtype=np.int64)
+        pos = np.array([list(p) for _, p in pins], dtype=np.float64)
+        if idx.max() >= coords.shape[0] or pos.shape[1] != coords.shape[1]:
+            return CheckResult(
+                "constraints", "Other", np.inf, tol,
+                "pin indices/coords do not fit the layout shape",
+            )
+        if np.any(coords[idx] != pos):
+            drift = float(np.abs(coords[idx] - pos).max())
+            residual = max(residual, drift, np.finfo(np.float64).tiny)
+            detail = "pinned coordinates drifted"
+    region = getattr(spec, "region", None)
+    if region is not None:
+        lo = np.array([b[0] for b in region], dtype=np.float64)
+        hi = np.array([b[1] for b in region], dtype=np.float64)
+        overflow = float(
+            np.maximum(
+                np.maximum(lo[None, :] - coords, coords - hi[None, :]), 0.0
+            ).max()
+        )
+        if overflow > residual:
+            residual = overflow
+            detail = "coordinates escape the bounding region"
+    if S is not None:
+        gram = check_d_orthogonality(S, w, tol=tol, centered=False)
+        if gram.residual > residual:
+            residual = gram.residual
+            detail = "mass-weighted Gram residual out of tolerance"
+    return CheckResult("constraints", "Other", residual, tol, detail)
 
 
 def check_lod_distortion(hierarchy, *, bound: float = 3.0) -> CheckResult:
