@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke lod-smoke kernels-smoke constraints-smoke examples results clean
+.PHONY: install test bench bench-fast serve-smoke stream-smoke check-smoke chaos-smoke cluster-smoke lod-smoke kernels-smoke constraints-smoke wal-smoke examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -62,6 +62,15 @@ kernels-smoke:
 # bitwise while costing >=3x less modeled BFS+solve work than cold.
 constraints-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/constraints_smoke.py
+
+# WAL durability acceptance: SIGKILL the worker that owns an updated
+# graph mid-stream and require the respawned worker to replay its WAL
+# and serve the post-update epoch bitwise-identically to an
+# uninterrupted engine (zero stale responses); then corrupt a WAL tail
+# and require truncate-at-last-valid-record recovery with the torn
+# bytes quarantined and counted.
+wal-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/wal_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

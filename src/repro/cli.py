@@ -273,6 +273,21 @@ def main(argv: list[str] | None = None) -> int:
                          help="in-memory cache budget (MiB)")
     p_serve.add_argument("--cache-dir",
                          help="directory for the persistent disk cache tier")
+    p_serve.add_argument(
+        "--wal",
+        metavar="DIR",
+        help="write-ahead-log directory: journal graph updates durably and"
+        " replay them on (re)start, so restarts — including respawned"
+        " cluster workers — resume at the post-update epochs instead of"
+        " pristine state (per-worker subdirs in cluster mode; see"
+        " docs/wal.md)",
+    )
+    p_serve.add_argument(
+        "--wal-fsync",
+        default="batch",
+        choices=("always", "batch", "off"),
+        help="WAL durability policy: fsync per update, coalesced, or never",
+    )
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.add_argument(
@@ -357,6 +372,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE.npz",
         help="crash-safe persistence: atomically save the frame after"
         " every update, and resume from FILE when it already exists",
+    )
+    p_stream.add_argument(
+        "--wal",
+        metavar="DIR",
+        help="write-ahead-log directory: O(delta) journaling + periodic"
+        " checkpoints instead of --autosave's full archive per update;"
+        " resumes from DIR when it already holds a journal (docs/wal.md)",
     )
     p_stream.add_argument(
         "--strict",
@@ -707,6 +729,8 @@ def _serve(args) -> int:
                 queue_limit=args.queue_depth,
                 timeout=args.timeout,
                 resilience=True if args.resilience else None,
+                wal_dir=args.wal,
+                wal_fsync=args.wal_fsync,
             ),
             lod=args.lod,
         )
@@ -727,6 +751,8 @@ def _serve(args) -> int:
             resilience=args.resilience,
             placement=args.placement,
             lod=args.lod,
+            wal_dir=args.wal,
+            wal_fsync=args.wal_fsync,
         )
         print(
             f"parhde serve: spawning {args.workers} worker"
@@ -747,6 +773,7 @@ def _serve(args) -> int:
         f" ({mode}, queue={args.queue_depth},"
         f" cache={args.cache_mb:g} MiB"
         + (f", disk={args.cache_dir}" if args.cache_dir else "")
+        + (f", wal={args.wal}" if args.wal else "")
         + (", resilience=on" if args.resilience else "")
         + (f", lod={args.lod}" if args.lod else "")
         + ")",
@@ -887,6 +914,7 @@ def _stream(g, args, parser) -> int:
     )
     t0 = time.perf_counter()
     autosave = getattr(args, "autosave", None)
+    wal = getattr(args, "wal", None)
     if args.layout:
         try:
             session = StreamSession.from_layout(
@@ -894,6 +922,20 @@ def _stream(g, args, parser) -> int:
             )
         except (OSError, ValueError, KeyError) as exc:
             parser.error(f"cannot warm-start from {args.layout!r}: {exc}")
+    elif wal:
+        session = StreamSession.resume_wal(
+            g,
+            wal,
+            s=args.subspace,
+            seed=args.seed,
+            policy=policy,
+            traversal=args.traversal,
+        )
+        if session.epoch:
+            print(
+                f"resumed from WAL {wal} (epoch {session.epoch})",
+                file=sys.stderr,
+            )
     elif autosave:
         session = StreamSession.resume(
             g,
@@ -962,6 +1004,7 @@ def _stream(g, args, parser) -> int:
 
         save_layout(session.snapshot_result(), args.save_layout)
         print(f"layout archive -> {args.save_layout}", file=sys.stderr)
+    session.close()
     return 0
 
 

@@ -27,9 +27,13 @@ seconds and records the outcome in a
 :class:`~repro.resilience.breaker.BreakerRegistry` keyed per worker —
 the same circuit-breaker machinery the engine uses per graph.  A worker
 whose breaker trips (consecutive missed heartbeats) or whose process
-died is declared dead, removed from the ring, and respawned; the
-restarted worker rejoins the ring with a cold cache and pristine graph
-state (see ``docs/cluster.md`` for why that is coherent).
+died is declared dead, removed from the ring, and respawned under
+capped exponential backoff; the restarted worker rejoins the ring with
+a cold cache and — when the cluster runs without a ``wal_dir`` —
+pristine graph state (see ``docs/cluster.md`` for why that is
+coherent).  With ``wal_dir`` set, each worker replays its own
+write-ahead log before reporting ready, so the respawned worker rejoins
+at the post-update epochs (``docs/wal.md``).
 
 Graceful drain fans out the per-engine drain: the router refuses new
 work, then every worker finishes its in-flight computations.
@@ -118,6 +122,12 @@ class _Worker:
         self.address: tuple[str, int] | None = None
         self.generation = 0
         self.state = "starting"  # starting | up | dead | stopped
+        #: Consecutive failed respawns; drives the monitor's capped
+        #: exponential backoff (reset to 0 by a successful restart).
+        self.restart_failures = 0
+        #: Monotonic time before which the monitor must not retry a
+        #: respawn of this worker.
+        self.next_restart_at = 0.0
         self._lock = threading.Lock()
         self._idle: list[socket.socket] = []
 
@@ -217,6 +227,17 @@ class ClusterRouter:
     restart:
         Respawn dead workers (the live-resharding loop).  Tests disable
         it to observe the degraded ring.
+    restart_backoff / restart_backoff_cap:
+        A respawn that *fails* (the replacement process never reports
+        ready) is retried with capped exponential backoff —
+        ``restart_backoff * 2**(failures - 1)`` seconds, at most
+        ``restart_backoff_cap`` — instead of on every monitor tick, so
+        a persistently broken worker config cannot hot-loop process
+        spawns.  A successful restart resets the backoff.
+    wal_dir / wal_fsync:
+        Per-worker write-ahead-log root (split into ``worker-<i>/``
+        subdirs like ``cache_dir``) and its fsync policy; ``None``
+        keeps workers volatile.  See ``docs/wal.md``.
     start_timeout:
         Seconds to wait for a spawned worker to report ready.
     placement:
@@ -249,12 +270,16 @@ class ClusterRouter:
         breaker_threshold: int = 3,
         breaker_reset: float = 10.0,
         restart: bool = True,
+        restart_backoff: float = 0.5,
+        restart_backoff_cap: float = 30.0,
         start_timeout: float = 60.0,
         telemetry: Telemetry | None = None,
         chaos_sites: Iterable[dict] = (),
         placement: str = "hash",
         lod: str | float | None = None,
         lod_opts: dict | None = None,
+        wal_dir: str | None = None,
+        wal_fsync: str = "batch",
     ):
         if workers < 1:
             raise ValueError(f"cluster needs >= 1 worker, got {workers}")
@@ -264,6 +289,10 @@ class ClusterRouter:
             )
         self.timeout = timeout
         self.restart = restart
+        self.restart_backoff = max(0.0, float(restart_backoff))
+        self.restart_backoff_cap = max(
+            self.restart_backoff, float(restart_backoff_cap)
+        )
         self.heartbeat_interval = heartbeat_interval
         self.start_timeout = start_timeout
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -294,6 +323,8 @@ class ClusterRouter:
                 cache_dir=(f"{cache_dir}/worker-{i}" if cache_dir else None),
                 resilience=resilience,
                 validation=validation,
+                wal_dir=(f"{wal_dir}/worker-{i}" if wal_dir else None),
+                wal_fsync=wal_fsync,
                 lod=lod,
                 lod_opts=tuple(sorted((lod_opts or {}).items())),
                 chaos_sites=tuple(dict(s) for s in chaos_sites),
@@ -459,6 +490,7 @@ class ClusterRouter:
                     worker.state == "dead"
                     and self.restart
                     and not self._draining
+                    and time.monotonic() >= worker.next_restart_at
                 ):
                     self._respawn(worker)
 
@@ -490,11 +522,23 @@ class ClusterRouter:
         self._await_ready(worker, ready)
         if worker.state == "up":
             self.telemetry.inc("router.restarts")
+            worker.restart_failures = 0
+            worker.next_restart_at = 0.0
             # A fresh process answered ready: clear the heartbeat breaker
             # so the new generation starts with a clean failure budget.
             self._breakers.record(f"worker:{worker.id}", True)
         else:
             self.telemetry.inc("router.restart_failures")
+            worker.restart_failures += 1
+            delay = min(
+                self.restart_backoff_cap,
+                self.restart_backoff * (2 ** (worker.restart_failures - 1)),
+            )
+            worker.next_restart_at = time.monotonic() + delay
+            logger.warning(
+                "worker %d restart failed (%d consecutive); next attempt"
+                " in %.1fs", worker.id, worker.restart_failures, delay,
+            )
 
     # -- request path ------------------------------------------------------
     @staticmethod

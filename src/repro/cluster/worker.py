@@ -6,11 +6,14 @@ Each worker is a full single-process serving stack — its own
 JSON protocol (:mod:`repro.cluster.protocol`) on a loopback TCP socket.
 Shared-nothing is the point: workers never coordinate through shared
 memory, so the GIL stops being a cluster-wide lock and a worker crash
-cannot corrupt a sibling.  The price is that *graph mutation state is
-worker-local*: a worker death loses its applied deltas — together with
+cannot corrupt a sibling.  Graph mutation state is *worker-local*;
+without a WAL a worker death loses its applied deltas — together with
 the cache entries keyed by their epochs, so coherence holds (the
 restarted worker serves the pristine collection graph at epoch 0 and
-nothing stale can be served; see ``docs/cluster.md``).
+nothing stale can be served).  With ``wal_dir`` set, each worker
+journals its mutations to its own :mod:`repro.wal` directory and
+**replays them before reporting ready** — the respawned process rejoins
+the ring already at the post-update epochs (see ``docs/wal.md``).
 
 Workers are started with the ``spawn`` multiprocessing context: the
 router process is multi-threaded (HTTP handlers, heartbeat monitor),
@@ -89,6 +92,12 @@ class WorkerConfig:
     resilience: bool = False
     validation: str | None = None
     host: str = "127.0.0.1"
+    #: Per-worker write-ahead-log directory (``None`` = volatile).  Like
+    #: ``cache_dir`` this is the worker's *own* subdir; records inside
+    #: are keyed by graph identity, not worker id, so resharding after a
+    #: death replays cleanly wherever the keys land.
+    wal_dir: str | None = None
+    wal_fsync: str = "batch"
     #: Default progressive-LOD mode (``None``/``"off"``/``"auto"``/budget
     #: ms as a float) — the engine is always wrapped in a
     #: :class:`repro.lod.ProgressiveEngine` so per-request ``lod``
@@ -115,6 +124,8 @@ def _build_engine(config: WorkerConfig):
         timeout=config.timeout,
         resilience=True if config.resilience else None,
         validation=config.validation,
+        wal_dir=config.wal_dir,
+        wal_fsync=config.wal_fsync,
     )
     # Always wrap: the wrapper is pass-through when neither the worker
     # default nor the request asks for LOD, and wrapping unconditionally

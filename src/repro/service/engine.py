@@ -25,6 +25,7 @@ compute-time and end-to-end latency histograms.
 from __future__ import annotations
 
 import inspect
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -41,8 +42,9 @@ from ..parallel.pool import PoolSaturated, TaskPool
 from ..resilience import BreakerRegistry, Deadline, RetryPolicy
 from ..resilience.breaker import OPEN
 from ..resilience.ladder import baseline_layout, is_lod_tier, resilient_layout
-from ..stream.delta import edge_delta
+from ..stream.delta import EdgeDelta, edge_delta
 from ..stream.overlay import DynamicGraph
+from ..wal import WriteAheadLog, edge_diff
 from ..validate import (
     InvariantViolation,
     ValidationPolicy,
@@ -51,6 +53,8 @@ from ..validate import (
 from .cache import LayoutCache
 from .fingerprint import canonical_params, graph_digest, layout_fingerprint
 from .telemetry import Telemetry
+
+logger = logging.getLogger("repro.service.engine")
 
 __all__ = [
     "BadRequest",
@@ -339,7 +343,7 @@ class _GraphState:
     refinement chains check before publishing against.
     """
 
-    __slots__ = ("dyn", "digest", "epoch", "content", "pins", "lock")
+    __slots__ = ("dyn", "digest", "epoch", "content", "pins", "lock", "wal_lsn")
 
     def __init__(self, g: CSRGraph):
         self.dyn = DynamicGraph(g)
@@ -352,6 +356,11 @@ class _GraphState:
         #: bump neither ``epoch`` nor ``content``.
         self.pins: dict[int, tuple[float, ...]] = {}
         self.lock = threading.Lock()
+        #: LSN of the last WAL record reflected in this state.  A WAL
+        #: snapshot stores it per graph; replay skips records at or
+        #: below it (the per-graph floor makes snapshot + journal
+        #: consistent without freezing the whole engine to checkpoint).
+        self.wal_lsn = 0
 
 
 class LayoutEngine:
@@ -390,6 +399,21 @@ class LayoutEngine:
         ``validate`` keyword, and cache hits are cross-checked against
         the request before being served; strict violations surface as
         :class:`ValidationFailed`.
+    wal_dir:
+        Directory for a :class:`repro.wal.WriteAheadLog`.  When set,
+        graph registration, update deltas, pin edits and epoch
+        publishes are journaled *before* they are acknowledged, and the
+        constructor replays the log to bitwise-identical
+        ``(digest, epoch, pins)`` state — a SIGKILLed process restarted
+        on the same directory resumes serving the post-update epochs
+        instead of pristine epoch 0.  ``None`` (default) keeps the
+        volatile behavior.  See ``docs/wal.md``.
+    wal_fsync:
+        Durability policy: ``"always"`` / ``"batch"`` (default) /
+        ``"off"`` — see :class:`repro.wal.WriteAheadLog`.
+    wal_snapshot_every:
+        Journal appends between automatic snapshot + compaction passes
+        (bounds replay cost).
     """
 
     def __init__(
@@ -404,6 +428,9 @@ class LayoutEngine:
         telemetry: Telemetry | None = None,
         validation: ValidationPolicy | str | None = None,
         resilience: "ResilienceConfig | bool | None" = None,
+        wal_dir: str | None = None,
+        wal_fsync: str = "batch",
+        wal_snapshot_every: int = 256,
     ):
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
@@ -440,10 +467,22 @@ class LayoutEngine:
         self._warm_store: OrderedDict[str, dict] = OrderedDict()
         self._warm_lock = threading.Lock()
         self._warm_capacity = 16
+        self._wal: WriteAheadLog | None = None
+        self._wal_replaying = False
+        self._wal_replay_lsn = 0
+        self._wal_snapshot_every = max(1, int(wal_snapshot_every))
+        self._wal_snap_lock = threading.Lock()
+        if wal_dir is not None:
+            self._wal = WriteAheadLog(
+                wal_dir, fsync=wal_fsync, telemetry=self.telemetry
+            )
+            self._replay_wal()
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         self._pool.close()
+        if self._wal is not None:
+            self._wal.close()
 
     @property
     def draining(self) -> bool:
@@ -494,6 +533,8 @@ class LayoutEngine:
         snap["draining"] = self._draining
         if self._breakers is not None:
             snap["breakers"] = self._breakers.snapshot()
+        if self._wal is not None:
+            snap["wal"] = self._wal.stats()
         return snap
 
     # -- resilience plumbing -----------------------------------------------
@@ -535,7 +576,8 @@ class LayoutEngine:
         never risks serving a stale layout.
         """
         t0 = time.perf_counter()
-        self.telemetry.inc("updates")
+        if not self._wal_replaying:
+            self.telemetry.inc("updates")
         if isinstance(request.graph, CSRGraph):
             raise BadRequest(
                 "updates address named graphs only; in-memory graphs are"
@@ -562,6 +604,25 @@ class LayoutEngine:
                     raise BadRequest(
                         f"pin vertex {v} out of range for n={state.dyn.n}"
                     )
+            if len(delta):
+                # Pre-validate everything apply() would reject so the
+                # journal-before-apply write below can never record an
+                # update that then fails: strict=False apply only raises
+                # for these two structural errors.
+                hi = delta.max_endpoint()
+                if hi >= state.dyn.n:
+                    raise BadRequest(
+                        f"delta references vertex {hi} but the graph has"
+                        f" {state.dyn.n} vertices (the vertex set is fixed)"
+                    )
+                if delta.is_weighted and not state.dyn.is_weighted:
+                    raise BadRequest(
+                        "weighted inserts require an edge-weighted base graph"
+                    )
+            # Journal before mutating anything: an update the WAL did
+            # not durably record must not be acknowledged (a crash after
+            # the ack would silently roll it back on replay).
+            self._journal_update(state, request, delta, pin_spec, unpins)
             pinned = unpinned = 0
             for v, pos in pin_spec.pins:
                 if state.pins.get(v) != pos:
@@ -570,7 +631,7 @@ class LayoutEngine:
             for v in unpins:
                 if state.pins.pop(v, None) is not None:
                     unpinned += 1
-            if pinned or unpinned:
+            if (pinned or unpinned) and not self._wal_replaying:
                 self.telemetry.inc("constraints.pin_edits", pinned + unpinned)
             if not len(delta):
                 # Pin-only batch: fingerprints move through the merged
@@ -590,14 +651,11 @@ class LayoutEngine:
                     pinned=pinned,
                     unpinned=unpinned,
                 )
-            try:
-                applied = state.dyn.apply(delta, strict=False)
-            except ValueError as exc:
-                raise BadRequest(str(exc)) from exc
+            applied = state.dyn.apply(delta, strict=False)
             state.epoch += 1
             state.content += 1
             compacted = state.dyn.maybe_compact()
-            return UpdateResponse(
+            response = UpdateResponse(
                 graph_name=request.graph,
                 epoch=state.epoch,
                 n=state.dyn.n,
@@ -611,6 +669,224 @@ class LayoutEngine:
                 pinned=pinned,
                 unpinned=unpinned,
             )
+        self._maybe_wal_snapshot()
+        return response
+
+    # -- write-ahead log ---------------------------------------------------
+    def _journal_update(
+        self,
+        state: _GraphState,
+        request: UpdateRequest,
+        delta: EdgeDelta,
+        pin_spec: ConstraintSpec,
+        unpins: list[int],
+    ) -> None:
+        """Journal one validated update batch (called under ``state.lock``).
+
+        During replay the batch *came from* the log; instead of
+        re-appending, the state adopts the replaying record's LSN so the
+        idempotency skip and future snapshots stay exact.
+        """
+        if self._wal is None:
+            return
+        if self._wal_replaying:
+            state.wal_lsn = self._wal_replay_lsn
+            return
+        record: dict[str, Any] = {
+            "type": "update" if len(delta) else "pins",
+            "graph": request.graph,
+            "scale": request.scale,
+            "seed": int(request.seed),
+        }
+        if len(delta):
+            record["delta"] = delta.to_json()
+        if pin_spec.pins:
+            record["pins"] = [
+                [int(v), [float(c) for c in pos]] for v, pos in pin_spec.pins
+            ]
+        if unpins:
+            record["unpins"] = [int(v) for v in unpins]
+        try:
+            state.wal_lsn = self._wal.append(record)
+        except OSError as exc:
+            # Journal-before-apply: nothing was mutated, so failing the
+            # request keeps memory and log agreeing (an acked-but-
+            # unjournaled update would silently roll back on replay).
+            raise ServiceError(
+                f"write-ahead log append failed: {exc}"
+            ) from exc
+
+    def _replay_wal(self) -> None:
+        """Rebuild every graph's ``(digest, epoch, pins)`` from the WAL."""
+        assert self._wal is not None
+        replay = self._wal.replay()
+        self._wal_replaying = True
+        try:
+            snap = replay.snapshot or {}
+            for entry in (snap.get("graphs") or {}).values():
+                try:
+                    self._restore_graph(entry)
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    logger.warning(
+                        "WAL snapshot entry for %r unusable (%s); the graph"
+                        " restarts pristine", entry.get("graph"), exc,
+                    )
+            for record in replay.records:
+                try:
+                    self._replay_record(record)
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    logger.warning(
+                        "WAL record %s unusable (%s); skipped",
+                        record.get("lsn"), exc,
+                    )
+        finally:
+            self._wal_replaying = False
+
+    def _restore_graph(self, entry: Mapping[str, Any]) -> None:
+        name = entry["graph"]
+        scale = entry["scale"]
+        seed = int(entry["seed"])
+        g = self._graph_loader(name, scale, seed)
+        state = _GraphState(g)
+        if state.digest != entry["digest"]:
+            # The generator/collection changed under us; fingerprints
+            # keep the recorded lineage digest so epochs stay coherent,
+            # but coordinates may differ from the pre-crash serving.
+            logger.warning(
+                "WAL snapshot digest mismatch for %s/%s seed=%d: base graph"
+                " changed since the log was written", name, scale, seed,
+            )
+            state.digest = entry["digest"]
+        if entry.get("inserts") or entry.get("deletes"):
+            delta = edge_delta(
+                inserts=entry.get("inserts") or (),
+                deletes=entry.get("deletes") or (),
+            )
+            state.dyn.apply(delta, strict=False)
+            state.dyn.maybe_compact()
+        state.epoch = int(entry["epoch"])
+        state.content = int(entry["content"])
+        state.pins = {
+            int(v): tuple(float(c) for c in pos)
+            for v, pos in entry.get("pins") or []
+        }
+        state.wal_lsn = int(entry.get("lsn", 0))
+        with self._graphs_lock:
+            self._graphs[(name, scale, seed)] = state
+
+    def _replay_record(self, record: Mapping[str, Any]) -> None:
+        rtype = record.get("type")
+        lsn = int(record.get("lsn", 0))
+        key = (record["graph"], record["scale"], int(record["seed"]))
+        if rtype == "register":
+            with self._graphs_lock:
+                known = key in self._graphs
+            if known:
+                return  # snapshot (or an earlier record) restored it
+            state = self._graph_state(*key)
+            if record.get("digest") not in (None, state.digest):
+                logger.warning(
+                    "WAL register digest mismatch for %s: base graph changed"
+                    " since the log was written", key,
+                )
+                state.digest = record["digest"]
+            if state.wal_lsn < lsn:
+                state.wal_lsn = lsn
+        elif rtype in ("update", "pins"):
+            state = self._graph_state(*key)
+            if lsn <= state.wal_lsn:
+                return  # already reflected in the snapshot
+            self._wal_replay_lsn = lsn
+            delta_doc = record.get("delta") or {}
+            self.update(
+                UpdateRequest(
+                    graph=key[0],
+                    scale=key[1],
+                    seed=key[2],
+                    inserts=tuple(delta_doc.get("inserts") or ()),
+                    deletes=tuple(delta_doc.get("deletes") or ()),
+                    pins=record.get("pins") or (),
+                    unpins=tuple(record.get("unpins") or ()),
+                )
+            )
+        elif rtype == "publish":
+            state = self._graph_state(*key)
+            if lsn <= state.wal_lsn:
+                return
+            with state.lock:
+                # The refined layout itself lived in the cache (and may
+                # well have survived on the disk tier); the journal only
+                # guarantees the epoch sequence so fingerprints line up.
+                state.epoch += 1
+                state.wal_lsn = lsn
+        else:
+            logger.warning("unknown WAL record type %r (lsn %d)", rtype, lsn)
+
+    def wal_snapshot(self) -> bool:
+        """Checkpoint every graph's state into the WAL and compact.
+
+        Returns ``True`` when a snapshot was written; ``False`` when the
+        engine has no WAL, another thread is mid-snapshot, or a graph's
+        base could not be reloaded (compacting past an unsnapshottable
+        graph would orphan its records, so the whole pass aborts).
+        """
+        if self._wal is None:
+            return False
+        if not self._wal_snap_lock.acquire(blocking=False):
+            return False
+        try:
+            with self._graphs_lock:
+                items = list(self._graphs.items())
+            graphs: dict[str, dict] = {}
+            floor: int | None = None
+            for (name, scale, seed), state in items:
+                with state.lock:
+                    current = state.dyn.to_csr()
+                    entry = {
+                        "graph": name,
+                        "scale": scale,
+                        "seed": seed,
+                        "digest": state.digest,
+                        "epoch": state.epoch,
+                        "content": state.content,
+                        "pins": [
+                            [v, list(pos)]
+                            for v, pos in sorted(state.pins.items())
+                        ],
+                        "lsn": state.wal_lsn,
+                    }
+                try:
+                    base = self._graph_loader(name, scale, seed)
+                    inserts, deletes = edge_diff(base, current)
+                except Exception as exc:  # noqa: BLE001 — abort, don't orphan
+                    logger.warning(
+                        "WAL snapshot aborted: cannot diff %s/%s seed=%d"
+                        " against its base (%s)", name, scale, seed, exc,
+                    )
+                    return False
+                entry["inserts"] = inserts
+                entry["deletes"] = deletes
+                graphs["\x1f".join((name, scale, str(seed)))] = entry
+                floor = (
+                    entry["lsn"]
+                    if floor is None
+                    else min(floor, entry["lsn"])
+                )
+            self._wal.snapshot(
+                {"version": 1, "graphs": graphs},
+                floor=floor if floor is not None else self._wal.last_lsn,
+            )
+            return True
+        finally:
+            self._wal_snap_lock.release()
+
+    def _maybe_wal_snapshot(self) -> None:
+        if (
+            self._wal is not None
+            and not self._wal_replaying
+            and self._wal.appends_since_snapshot >= self._wal_snapshot_every
+        ):
+            self.wal_snapshot()
 
     # -- internals ---------------------------------------------------------
     def _graph_state(
@@ -631,8 +907,32 @@ class LayoutEngine:
         state = _GraphState(g)
         with self._graphs_lock:
             # Another thread may have raced the load; keep the first.
-            state = self._graphs.setdefault(key, state)
-        return state
+            winner = self._graphs.setdefault(key, state)
+            if (
+                winner is state
+                and self._wal is not None
+                and not self._wal_replaying
+            ):
+                # Journaled under the registry lock so the register
+                # record precedes any update record for this graph
+                # appended by the thread that inserted it.  (A racing
+                # loser thread may still slot its update first; replay
+                # tolerates that by registering lazily on update.)
+                lsn = self._wal.append(
+                    {
+                        "type": "register",
+                        "graph": name,
+                        "scale": scale,
+                        "seed": int(seed),
+                        "digest": state.digest,
+                    }
+                )
+                # Mark the register record as reflected so a graph that
+                # never receives updates does not pin the compaction
+                # floor at zero (register replay is idempotent anyway).
+                if state.wal_lsn < lsn:
+                    state.wal_lsn = lsn
+        return winner
 
     def _resolve_graph(
         self, request: LayoutRequest
@@ -691,6 +991,15 @@ class LayoutEngine:
         with state.lock:
             if expect_content is not None and state.content != expect_content:
                 return None
+            if self._wal is not None and not self._wal_replaying:
+                state.wal_lsn = self._wal.append(
+                    {
+                        "type": "publish",
+                        "graph": graph,
+                        "scale": scale,
+                        "seed": int(seed),
+                    }
+                )
             state.epoch += 1
             fingerprint = layout_fingerprint(
                 state.digest, algorithm, kwargs, epoch=state.epoch

@@ -182,8 +182,20 @@ class StreamSession:
         after the initial layout and after every successful update, so
         a killed process resumes via :meth:`resume` from the last
         completed frame instead of replaying the stream.  Save failures
-        are logged and absorbed — persistence must not kill the stream
-        it protects.
+        are logged once per path, counted in
+        ``stats["autosave_failures"]`` and absorbed — persistence must
+        not kill the stream it protects.
+    wal:
+        Optional :mod:`repro.wal` directory (or an open
+        :class:`~repro.wal.WriteAheadLog`).  Unlike ``autosave`` — a
+        full archive rewrite per update — the WAL journals each delta /
+        constraint edit as an O(delta) append and checkpoints a full
+        snapshot (frame + graph archives) every ``wal_snapshot_every``
+        updates, compacting the journal behind it.  Resume with
+        :meth:`resume_wal`.
+    wal_fsync / wal_snapshot_every:
+        Journal durability policy (``"always"``/``"batch"``/``"off"``)
+        and checkpoint cadence in journaled updates.
     """
 
     def __init__(
@@ -205,7 +217,11 @@ class StreamSession:
         layout: LayoutResult | None = None,
         validation: ValidationPolicy | str | None = None,
         autosave: str | os.PathLike | None = None,
+        wal=None,
+        wal_fsync: str = "batch",
+        wal_snapshot_every: int = 16,
         telemetry=None,
+        _wal_replay: list | None = None,
     ):
         self.policy = policy if policy is not None else StreamPolicy()
         self.validation = ValidationPolicy.coerce(validation)
@@ -239,7 +255,9 @@ class StreamSession:
             "warm_eigensolves": 0,
             "constraint_updates": 0,
             "repair_fallbacks": 0,
+            "autosave_failures": 0,
         }
+        self._autosave_warned = False
         if layout is not None:
             self._adopt(g, layout)
         else:
@@ -276,6 +294,41 @@ class StreamSession:
                 ]
         self._Y: np.ndarray | None = None
         self.autosave_path = Path(autosave) if autosave is not None else None
+        self._wal = None
+        self._wal_suppress = False
+        self._wal_snapshot_every = max(1, int(wal_snapshot_every))
+        if wal is not None:
+            from ..wal import WriteAheadLog
+
+            self._wal = (
+                wal
+                if isinstance(wal, WriteAheadLog)
+                else WriteAheadLog(wal, fsync=wal_fsync, telemetry=telemetry)
+            )
+        if _wal_replay:
+            # Records journaled after the snapshot this session was
+            # constructed from (resume_wal): re-apply them through the
+            # normal update paths with journaling suppressed — they are
+            # already in the log.
+            self._wal_suppress = True
+            try:
+                for record in _wal_replay:
+                    try:
+                        self._replay_wal_record(record)
+                    except Exception as exc:  # noqa: BLE001 — stop at tear
+                        logger.warning(
+                            "stream WAL replay stopped at lsn %s (%s); the"
+                            " session resumes from the %d updates before it",
+                            record.get("lsn"), exc, self.epoch,
+                        )
+                        break
+            finally:
+                self._wal_suppress = False
+        if self._wal is not None:
+            # Checkpoint the constructed (or resumed) state: the WAL dir
+            # is self-contained from birth, and a resume compacts the
+            # records it just replayed.
+            self._wal_snapshot()
         self._autosave()
 
     @classmethod
@@ -312,6 +365,114 @@ class StreamSession:
                     " starting fresh", p, exc,
                 )
         return cls(g, autosave=p, **kwargs)
+
+    @classmethod
+    def resume_wal(
+        cls, g: CSRGraph, wal_dir, *, wal_fsync: str = "batch", **kwargs
+    ) -> "StreamSession":
+        """Resume from (or start journaling to) a WAL directory.
+
+        ``g`` is the stream's *initial* graph; it seeds a fresh session
+        when the directory is empty.  Otherwise the newest checkpoint's
+        graph + frame archives restore the last snapshotted state and
+        the post-snapshot journal records replay on top — O(snapshot +
+        recent deltas), not O(stream history).  An unreadable checkpoint
+        falls back to a fresh session on ``g`` (with a warning): the
+        journal alone cannot reconstruct state older than its compaction
+        floor.
+        """
+        from ..core.serialize import load_layout
+        from ..graph.io import load_npz
+        from ..wal import WriteAheadLog
+
+        log = WriteAheadLog(
+            wal_dir, fsync=wal_fsync, telemetry=kwargs.get("telemetry")
+        )
+        replay = log.replay()
+        base_g, layout, records = g, None, []
+        if replay.snapshot is not None:
+            try:
+                base_g = load_npz(Path(wal_dir) / replay.snapshot["graph"])
+                layout = load_layout(Path(wal_dir) / replay.snapshot["frame"])
+                records = [
+                    r
+                    for r in replay.records
+                    if int(r.get("lsn", 0)) > replay.floor
+                ]
+            except (OSError, ValueError, KeyError) as exc:
+                logger.warning(
+                    "cannot restore stream checkpoint from %s (%s);"
+                    " starting fresh", wal_dir, exc,
+                )
+                base_g, layout, records = g, None, []
+        return cls(base_g, layout=layout, wal=log, _wal_replay=records, **kwargs)
+
+    def _replay_wal_record(self, record: dict) -> None:
+        rtype = record.get("type")
+        if rtype == "update":
+            self.update(
+                EdgeDelta.from_json(record.get("delta") or {}),
+                strict=bool(record.get("strict", True)),
+            )
+        elif rtype == "constraints":
+            self.set_constraints(record.get("spec") or {})
+        else:
+            raise ValueError(f"unknown stream WAL record type {rtype!r}")
+
+    def _journal(self, record: dict) -> None:
+        """Append one record (update ack path); checkpoint on cadence."""
+        if self._wal is None or self._wal_suppress:
+            return
+        self._wal.append(record)
+        if self._wal.appends_since_snapshot >= self._wal_snapshot_every:
+            self._wal_snapshot()
+
+    def _wal_snapshot(self) -> None:
+        """Checkpoint frame + graph archives and compact the journal."""
+        from ..core.serialize import save_layout
+        from ..graph.io import save_npz
+
+        if self._wal is None:
+            return
+        floor = self._wal.last_lsn
+        frame_name = f"frame-{floor:016d}.npz"
+        graph_name = f"graph-{floor:016d}.npz"
+        wal_dir = self._wal.dir
+        try:
+            save_layout(self.snapshot_result(), wal_dir / frame_name)
+            save_npz(self.graph, wal_dir / graph_name)
+            self._wal.snapshot(
+                {"frame": frame_name, "graph": graph_name, "epoch": self.epoch},
+                floor=floor,
+            )
+            for old in wal_dir.glob("frame-*.npz"):
+                if old.name < frame_name:
+                    old.unlink(missing_ok=True)
+            for old in wal_dir.glob("graph-*.npz"):
+                if old.name < graph_name:
+                    old.unlink(missing_ok=True)
+        except OSError as exc:
+            # Same contract as autosave: persistence must not kill the
+            # stream it protects (the journal itself is still intact).
+            self.stats["autosave_failures"] += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("stream.autosave_failures")
+            if not self._autosave_warned:
+                self._autosave_warned = True
+                logger.warning(
+                    "stream WAL checkpoint in %s failed: %s (logged once;"
+                    " failures counted in stats['autosave_failures'])",
+                    wal_dir, exc,
+                )
+
+    def wal_stats(self) -> dict | None:
+        """The journal's counter snapshot, or ``None`` without a WAL."""
+        return self._wal.stats() if self._wal is not None else None
+
+    def close(self) -> None:
+        """Flush and close the WAL (no-op for journal-less sessions)."""
+        if self._wal is not None:
+            self._wal.close()
 
     def _adopt(self, g: CSRGraph, layout: LayoutResult) -> None:
         B = np.asarray(layout.B, dtype=np.float64)
@@ -452,6 +613,9 @@ class StreamSession:
         self.eigenvalues = res.eigenvalues
         self.epoch += 1
         self.stats["constraint_updates"] += 1
+        self._journal(
+            {"type": "constraints", "spec": spec.to_params(), "reason": _reason}
+        )
         self._autosave()
         return StreamUpdate(
             epoch=self.epoch,
@@ -512,13 +676,16 @@ class StreamSession:
         out.applied_edits = applied.size
         out.skipped_edits = applied.skipped
         out.compacted = self.dyn.maybe_compact() or out.compacted
+        self._journal(
+            {"type": "update", "delta": delta.to_json(), "strict": bool(strict)}
+        )
         self._autosave()
         return out
 
     def _autosave(self) -> bool:
         """Atomically persist the current frame; ``True`` on success."""
         path = self.autosave_path
-        if path is None:
+        if path is None or self._wal_suppress:
             return False
         from ..core.serialize import save_layout
 
@@ -535,7 +702,18 @@ class StreamSession:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except Exception as exc:  # noqa: BLE001 — autosave is best-effort
-            logger.warning("stream autosave to %s failed: %s", path, exc)
+            self.stats["autosave_failures"] += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("stream.autosave_failures")
+            if not self._autosave_warned:
+                # Log-once: a broken path would otherwise warn on every
+                # update for the stream's whole lifetime; the counter
+                # keeps the failures observable after the first line.
+                self._autosave_warned = True
+                logger.warning(
+                    "stream autosave to %s failed: %s (logged once; failures"
+                    " counted in stats['autosave_failures'])", path, exc,
+                )
             return False
         return True
 

@@ -1,0 +1,30 @@
+"""repro.wal — durable write-ahead logging for served graph state.
+
+Layers:
+
+- :mod:`repro.wal.records` — on-disk framing (length + CRC32C).
+- :mod:`repro.wal.log` — :class:`WriteAheadLog`: segments, fsync
+  policies, torn-tail recovery with quarantine, snapshots + compaction.
+- :mod:`repro.wal.diff` — edge-set diffs for engine snapshots.
+
+Consumers: ``LayoutEngine(wal_dir=...)`` journals graph registration,
+update deltas, pin edits and epoch publishes before acknowledging them
+and replays to identical ``(digest, epoch, pins)`` state on
+construction; cluster workers keep per-worker WAL directories so a
+respawned worker replays before rejoining the ring; ``StreamSession``
+uses the log for O(delta) autosave.  See ``docs/wal.md``.
+"""
+
+from .diff import edge_diff
+from .log import FSYNC_POLICIES, WalReplay, WriteAheadLog
+from .records import crc32c, encode_record, scan_records
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalReplay",
+    "WriteAheadLog",
+    "crc32c",
+    "edge_diff",
+    "encode_record",
+    "scan_records",
+]

@@ -253,3 +253,32 @@ def test_layout_flag_rejects_mismatched_graph(tmp_path):
     ) == 0
     with pytest.raises(SystemExit):
         main(["zoom", "barth", "--scale", "tiny", "--layout", str(archive)])
+
+
+def test_stream_wal_journals_and_resumes(tmp_path, capsys):
+    events = tmp_path / "events.txt"
+    events.write_text("+ 0 20\n+ 1 30\n---\n- 0 1\n")
+    wal = tmp_path / "wal"
+    rc = main(
+        ["stream", "barth", str(events), "--scale", "tiny", "-s", "4",
+         "--wal", str(wal)]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "resumed from WAL" not in captured.err
+    assert (wal / "quarantine").exists() is False
+    assert any(wal.glob("wal-*.log")) or any(wal.glob("snapshot-*.json"))
+
+    # Second run over the same directory resumes at the journaled epoch.
+    rc = main(
+        ["stream", "barth", str(events), "--scale", "tiny", "-s", "4",
+         "--wal", str(wal)]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert f"resumed from WAL {wal} (epoch 2)" in captured.err
+
+
+def test_serve_rejects_bad_wal_fsync():
+    with pytest.raises(SystemExit):
+        main(["serve", "--wal-fsync", "sometimes"])
